@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+printing a paper-vs-measured comparison and writing it to
+``benchmarks/results/<name>.txt``.  Benchmarks use seeded generators,
+so the numbers are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.corpus import generate_play_corpus, generate_preinstalled_corpus
+from repro.analysis.factory_images import generate_fleet
+from repro.analysis.platform_keys import generate_appstore_catalogs
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def play_corpus():
+    """The 12,750-app Google Play corpus."""
+    return generate_play_corpus(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def preinstalled_corpus():
+    """The 1,613-unique-app pre-installed corpus."""
+    return generate_preinstalled_corpus(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """The 1,855-image factory fleet."""
+    return generate_fleet(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def catalogs():
+    """The 1.2M-app, 33-store signature corpus."""
+    return generate_appstore_catalogs(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Callable that persists a rendered report and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return sink

@@ -1,0 +1,95 @@
+"""The capstone grid: every Step-3 attack x every SD-Card store x
+every defense posture.
+
+One table that summarizes the paper: undefended SD-Card AITs always
+fall, DAPP always detects, the FUSE DAC always prevents, and the
+internal-storage design never falls in the first place.
+"""
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import (
+    AmazonInstaller,
+    BaiduInstaller,
+    DTIgniteInstaller,
+    GooglePlayInstaller,
+    HuaweiInstaller,
+    QihooInstaller,
+    TencentInstaller,
+    XiaomiInstaller,
+)
+from repro.measurement.report import render_table
+
+STORES = [AmazonInstaller, XiaomiInstaller, BaiduInstaller, QihooInstaller,
+          TencentInstaller, HuaweiInstaller, DTIgniteInstaller,
+          GooglePlayInstaller]
+ATTACKS = [("FileObserver", FileObserverHijacker),
+           ("wait-and-see", WaitAndSeeHijacker)]
+POSTURES = [("undefended", ()), ("DAPP", ("dapp",)),
+            ("FUSE-DAC", ("fuse-dac",))]
+
+TARGET = "com.victim.app"
+
+
+def run_cell(installer_cls, attacker_cls, defenses):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=lambda s: attacker_cls(fingerprint_for(installer_cls)),
+        defenses=defenses,
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    outcome = scenario.run_install(TARGET)
+    detected = any(r.detected for r in scenario.defense_reports())
+    prevented = any(r.prevented for r in scenario.defense_reports())
+    if outcome.hijacked and detected:
+        return "hijacked+detected"
+    if outcome.hijacked:
+        return "HIJACKED"
+    if prevented:
+        return "prevented"
+    return "clean"
+
+
+def run_matrix():
+    table = {}
+    for attack_name, attacker_cls in ATTACKS:
+        for installer_cls in STORES:
+            for posture_name, defenses in POSTURES:
+                key = (attack_name, installer_cls.profile.label, posture_name)
+                table[key] = run_cell(installer_cls, attacker_cls, defenses)
+    return table
+
+
+def test_attack_matrix(benchmark, report_sink):
+    table = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    sections = []
+    for attack_name, _cls in ATTACKS:
+        rows = []
+        for installer_cls in STORES:
+            label = installer_cls.profile.label
+            rows.append((
+                label,
+                table[(attack_name, label, "undefended")],
+                table[(attack_name, label, "DAPP")],
+                table[(attack_name, label, "FUSE-DAC")],
+            ))
+        sections.append(render_table(
+            f"Attack matrix: {attack_name} hijacking",
+            ["installer", "undefended", "DAPP", "FUSE-DAC"],
+            rows,
+        ))
+    report_sink("attack_matrix", "\n\n".join(sections))
+
+    sdcard_labels = [cls.profile.label for cls in STORES
+                     if cls.profile.uses_sdcard]
+    for attack_name, _cls in ATTACKS:
+        for label in sdcard_labels:
+            assert table[(attack_name, label, "undefended")] == "HIJACKED", (
+                attack_name, label)
+            assert table[(attack_name, label, "DAPP")] == "hijacked+detected"
+            assert table[(attack_name, label, "FUSE-DAC")] == "prevented"
+        # Google Play's internal design never falls.
+        play = GooglePlayInstaller.profile.label
+        assert table[(attack_name, play, "undefended")] == "clean"

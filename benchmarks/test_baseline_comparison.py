@@ -1,0 +1,69 @@
+"""Baseline comparison: GIA vs the prior logcat attack (Related Work).
+
+The paper argues GIA is a strictly stronger threat than the
+PaloAltoNetworks logcat attack: no special permission, works on every
+Android version studied, and covers silent installers.  This benchmark
+runs both attackers over the {installer path} x {Android build} grid
+and tabulates coverage.
+"""
+
+from repro.android import device
+from repro.attacks.base import fingerprint_for
+from repro.attacks.logcat_baseline import LogcatConsentReplacer
+from repro.attacks.toctou import FileObserverHijacker
+from repro.core.scenario import Scenario
+from repro.installers import DTIgniteInstaller, NaiveSdcardInstaller
+from repro.measurement.report import render_table
+
+TARGET = "com.victim.app"
+
+GRID = [
+    ("PIA consent install, Android 4.0", NaiveSdcardInstaller,
+     device.galaxy_s2_ics),
+    ("PIA consent install, Android 5.1", NaiveSdcardInstaller, device.nexus5),
+    ("silent carrier push, Android 4.0", DTIgniteInstaller,
+     device.galaxy_s2_ics),
+    ("silent carrier push, Android 5.1", DTIgniteInstaller, device.nexus5),
+]
+
+
+def run_cell(installer_cls, profile, use_baseline):
+    if use_baseline:
+        factory = lambda s: LogcatConsentReplacer()
+    else:
+        factory = lambda s: FileObserverHijacker(fingerprint_for(installer_cls))
+    scenario = Scenario.build(installer=installer_cls,
+                              attacker_factory=factory, device=profile)
+    scenario.publish_app(TARGET, label="Victim")
+    outcome = scenario.run_install(TARGET)
+    return outcome.hijacked
+
+
+def run_grid():
+    rows = []
+    for label, installer_cls, profile_factory in GRID:
+        baseline = run_cell(installer_cls, profile_factory(), use_baseline=True)
+        gia = run_cell(installer_cls, profile_factory(), use_baseline=False)
+        rows.append((label,
+                     "hijacked" if baseline else "no effect",
+                     "hijacked" if gia else "no effect"))
+    return rows
+
+
+def test_baseline_comparison(benchmark, report_sink):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    report_sink("baseline_comparison", render_table(
+        "Baseline comparison: logcat attack (pre-GIA) vs GIA FileObserver",
+        ["scenario", "logcat baseline", "GIA"],
+        rows,
+    ))
+    coverage = {row[0]: (row[1], row[2]) for row in rows}
+    # The baseline's single sweet spot:
+    assert coverage["PIA consent install, Android 4.0"] == ("hijacked",
+                                                            "hijacked")
+    # Dead on modern builds, blind to silent installers:
+    assert coverage["PIA consent install, Android 5.1"][0] == "no effect"
+    assert coverage["silent carrier push, Android 4.0"][0] == "no effect"
+    assert coverage["silent carrier push, Android 5.1"][0] == "no effect"
+    # GIA covers the full grid:
+    assert all(row[2] == "hijacked" for row in rows)

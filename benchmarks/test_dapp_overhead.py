@@ -1,0 +1,91 @@
+"""Section VI-B: overhead of DAPP.
+
+The paper measured DAPP at 0.1-0.7% CPU and ~6.3 MB RAM during app
+installs, 0.08% of battery over a 21-installs-in-an-hour workload.  We
+run the same 21-install workload and measure, on real wall-clock:
+
+- the CPU time spent inside DAPP's event/broadcast handlers as a share
+  of the whole simulation run, and
+- the bytes DAPP retains (grabbed signatures and event bookkeeping).
+"""
+
+import sys
+import time
+
+from repro.core.campaign import Campaign, benign_workload
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller
+from repro.measurement.report import render_table
+
+INSTALLS = 21  # the paper's battery-test workload
+
+
+def run_workload():
+    scenario = Scenario.build(installer=AmazonInstaller, defenses=("dapp",))
+    dapp = scenario.dapp
+
+    handler_time = {"total": 0.0, "calls": 0}
+    original_file_handler = dapp._on_file_event
+    original_package_handler = dapp._on_package_event
+
+    def timed_file_handler(event):
+        start = time.perf_counter()
+        original_file_handler(event)
+        handler_time["total"] += time.perf_counter() - start
+        handler_time["calls"] += 1
+
+    def timed_package_handler(broadcast):
+        start = time.perf_counter()
+        original_package_handler(broadcast)
+        handler_time["total"] += time.perf_counter() - start
+        handler_time["calls"] += 1
+
+    dapp._on_file_event = timed_file_handler
+    dapp._on_package_event = timed_package_handler
+    for observer in dapp._observers:
+        observer._listeners = [timed_file_handler]
+
+    packages = benign_workload(scenario, count=INSTALLS)
+    wall_start = time.perf_counter()
+    stats = Campaign(scenario).install_many(packages)
+    wall_total = time.perf_counter() - wall_start
+
+    retained_bytes = sum(
+        sys.getsizeof(grab) + sys.getsizeof(grab.certificate_fingerprint)
+        + sys.getsizeof(grab.path)
+        for grab in dapp._grabbed.values()
+    )
+    return {
+        "stats": stats,
+        "dapp_cpu_s": handler_time["total"],
+        "handler_calls": handler_time["calls"],
+        "wall_s": wall_total,
+        "retained_bytes": retained_bytes,
+        "alarms": len(dapp.report.alarms),
+    }
+
+
+def test_dapp_overhead(benchmark, report_sink):
+    result = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    share = result["dapp_cpu_s"] / result["wall_s"] if result["wall_s"] else 0.0
+    rows = [
+        ("installs", INSTALLS, "21 in 1 hour"),
+        ("DAPP handler CPU share", f"{share * 100:.2f}%",
+         "0.1-0.7% device CPU"),
+        ("handler invocations", result["handler_calls"], "n/a"),
+        ("retained state", f"{result['retained_bytes'] / 1024:.1f} KiB",
+         "6.3 MB resident app"),
+        ("false alarms", result["alarms"], "0"),
+    ]
+    report_sink("dapp_overhead", render_table(
+        "Section VI-B: overhead of DAPP (21-install workload)",
+        ["metric", "measured", "paper"],
+        rows,
+    ))
+    assert result["stats"].clean_installs == INSTALLS
+    assert result["alarms"] == 0
+    # The paper's claim is 'negligible': DAPP's handlers must be a
+    # small share of the workload even in our much cheaper simulation.
+    assert share < 0.25
+    # Bookkeeping stays tiny — nowhere near leak territory.
+    assert result["retained_bytes"] < 1024 * 1024

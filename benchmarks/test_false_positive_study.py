@@ -1,0 +1,59 @@
+"""Section VI-A field test: 924 benign installs, zero false alarms.
+
+The paper ran all protections on a Nexus 5 for 45 days, installing 924
+apps, with no false alarms and no disrupted operations.  We replay a
+924-install benign workload (randomized sizes, plus periodic app
+updates and benign store redirections) through a device running every
+defense at once and count alarms and blocked operations.
+"""
+
+from repro.android.intents import Intent
+from repro.core.campaign import Campaign, benign_workload
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller
+from repro.measurement.report import render_table
+
+INSTALLS = 924
+
+
+def run_field_test():
+    scenario = Scenario.build(
+        installer=AmazonInstaller,
+        defenses=("dapp", "fuse-dac", "intent-detection", "intent-origin"),
+    )
+    packages = benign_workload(scenario, count=INSTALLS)
+    campaign = Campaign(scenario)
+    stats = campaign.install_many(packages)
+    # Daily operations: benign activity starts at a human cadence.
+    scenario.system.ams.register_app("com.browser")
+    for index in range(40):
+        sender = scenario.system.caller_for(packages[index])
+        scenario.system.kernel.call_later(
+            index * 3_000_000_000,
+            lambda s=sender: scenario.system.ams.start_activity(
+                s, Intent(target_package="com.browser")
+            ),
+        )
+    scenario.system.run()
+    return scenario, stats
+
+
+def test_false_positive_study(benchmark, report_sink):
+    scenario, stats = benchmark.pedantic(run_field_test, rounds=1, iterations=1)
+    alarms = sum(len(report.alarms) for report in scenario.defense_reports())
+    blocked = sum(
+        len(report.blocked_operations) for report in scenario.defense_reports()
+    )
+    rows = [(
+        stats.runs, stats.clean_installs, alarms, blocked,
+        "924 installs / 45 days, 0 false alarms (paper)",
+    )]
+    report_sink("false_positive_study", render_table(
+        "False-positive study (all defenses active)",
+        ["installs", "clean", "alarms", "blocked ops", "paper"],
+        rows,
+    ))
+    assert stats.runs == INSTALLS
+    assert stats.clean_installs == INSTALLS
+    assert alarms == 0
+    assert blocked == 0

@@ -1,0 +1,51 @@
+"""Figure 1: the App Installation Transaction across installer designs.
+
+Runs one complete AIT per installer profile and renders the per-step
+trace — the Figure 1 reproduction: the same four steps, with the
+design choices (DM vs self-download, SD-Card vs internal, PMS vs PIA)
+varying per installer.
+"""
+
+from repro.core.ait import AITStep
+from repro.core.scenario import Scenario
+from repro.installers import all_installer_types
+
+TARGET = "com.victim.app"
+
+
+def run_all_traces():
+    traces = {}
+    for name, installer_cls in sorted(all_installer_types().items()):
+        scenario = Scenario.build(installer=installer_cls)
+        scenario.publish_app(TARGET, label="Victim")
+        outcome = scenario.run_install(TARGET)
+        traces[name] = outcome.trace
+    return traces
+
+
+def test_figure1_ait_traces(benchmark, report_sink):
+    traces = benchmark.pedantic(run_all_traces, rounds=1, iterations=1)
+    lines = ["Figure 1: App Installation Transaction (AIT) steps", ""]
+    for name, trace in traces.items():
+        lines.append(f"--- {name} ---")
+        lines.append(trace.describe())
+        lines.append("")
+    report_sink("figure1_ait_traces", "\n".join(lines))
+
+    for name, trace in traces.items():
+        assert trace.completed, f"{name} failed: {trace.error}"
+        steps = {entry.step for entry in trace.steps}
+        assert {AITStep.DOWNLOAD, AITStep.TRIGGER, AITStep.INSTALL} <= steps
+    # The design axes of Figure 1 are all represented.
+    mechanisms = {
+        trace.step_for(AITStep.DOWNLOAD).mechanism for trace in traces.values()
+    }
+    assert any("DownloadManager" in m for m in mechanisms)
+    assert any("self-download" in m for m in mechanisms)
+    assert any("internal" in m for m in mechanisms)
+    installs = {
+        trace.step_for(AITStep.INSTALL).mechanism for trace in traces.values()
+    }
+    assert "PackageInstallerActivity" in installs
+    assert "PMS.installPackage" in installs
+    assert "PMS.installPackageWithVerification" in installs

@@ -1,0 +1,46 @@
+"""Section IV-B platform-key findings: one key per vendor, platform-signed
+apps per image / in total / in appstores."""
+
+import pytest
+
+from repro.analysis.platform_keys import analyze
+from repro.measurement.report import render_table
+
+PAPER = {
+    "avg_per_image": {"samsung": 142, "huawei": 68, "xiaomi": 84},
+    "distinct": {"samsung": 884, "huawei": 301, "xiaomi": 216},
+    "in_stores": {"samsung": 61, "huawei": 125, "xiaomi": 30},
+}
+
+
+def test_platform_keys(benchmark, fleet, catalogs, report_sink):
+    study = benchmark.pedantic(
+        lambda: analyze(fleet, catalogs), rounds=1, iterations=1
+    )
+    rows = []
+    for vendor in ("samsung", "huawei", "xiaomi"):
+        rows.append((
+            vendor,
+            study.keys_per_vendor[vendor],
+            f"{study.avg_platform_signed_per_image[vendor]:.1f} "
+            f"(paper {PAPER['avg_per_image'][vendor]})",
+            f"{study.distinct_platform_packages[vendor]} "
+            f"(paper {PAPER['distinct'][vendor]})",
+            f"{study.store_signed_counts[vendor]} "
+            f"(paper {PAPER['in_stores'][vendor]})",
+        ))
+    report_sink("platform_keys", render_table(
+        "Platform key usage (Section IV-B)",
+        ["vendor", "platform keys", "signed apps/image", "distinct signed",
+         "signed apps in stores"],
+        rows,
+    ))
+
+    assert study.keys_per_vendor == {"samsung": 1, "huawei": 1, "xiaomi": 1}
+    assert study.distinct_platform_packages == PAPER["distinct"]
+    assert study.store_signed_counts == PAPER["in_stores"]
+    for vendor, expected in PAPER["avg_per_image"].items():
+        assert study.avg_platform_signed_per_image[vendor] == pytest.approx(
+            expected, abs=4
+        )
+    assert study.vulnerable_store_apps()  # TeamViewer is out there

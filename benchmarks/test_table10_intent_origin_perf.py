@@ -1,0 +1,91 @@
+"""Table X: Intent origin scheme performance.
+
+Same methodology as Table IX, for the origin-stamping inspector.
+The paper measured 1.67% of total delivery time.
+"""
+
+import time
+
+from repro.android.device import nexus5
+from repro.android.filesystem import Caller
+from repro.android.intent_firewall import IntentRecord
+from repro.android.intents import Intent
+from repro.android.system import AndroidSystem
+from repro.defenses.intent_origin import IntentOriginScheme
+from repro.measurement.report import render_table
+
+ROUNDS = 50
+SENDER = Caller(uid=10001, package="com.sender")
+
+
+def timed_total_delivery(system) -> float:
+    system.ams.register_app("com.recipient")
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        system.ams.start_activity(SENDER, Intent(target_package="com.recipient"))
+        system.run()
+    return (time.perf_counter() - start) / ROUNDS
+
+
+def timed_logic(scheme) -> float:
+    records = [
+        IntentRecord(
+            intent=Intent(target_package="com.recipient"),
+            sender_package="com.sender",
+            sender_uid=10001,
+            sender_is_system=False,
+            recipient_package="com.recipient",
+            delivery_time_ns=index,
+        )
+        for index in range(ROUNDS)
+    ]
+    start = time.perf_counter()
+    for record in records:
+        scheme.inspect(record)
+    return (time.perf_counter() - start) / ROUNDS
+
+
+def test_table10_intent_origin_perf(benchmark, report_sink):
+    system = AndroidSystem(nexus5())
+    scheme = IntentOriginScheme().install(system.firewall)
+    total = timed_total_delivery(system)
+    logic = timed_logic(IntentOriginScheme())
+    benchmark(lambda: scheme.inspect(IntentRecord(
+        intent=Intent(target_package="com.recipient"),
+        sender_package="com.sender",
+        sender_uid=10001,
+        sender_is_system=False,
+        recipient_package="com.recipient",
+        delivery_time_ns=0,
+    )))
+    fraction = logic / total
+    rows = [(
+        f"{total * 1e9:.0f} ns", f"{logic * 1e9:.0f} ns",
+        f"{fraction * 100:.2f}%", "1.67%",
+    )]
+    text = render_table(
+        "Table X: Intent origin scheme performance (50 deliveries)",
+        ["total delivery", "our logic", "percentage (measured)",
+         "percentage (paper)"],
+        rows,
+    )
+    text += (
+        "\nnote: the simulated delivery path is ~1000x cheaper than a real "
+        "binder IPC (paper total ~64.9 ms), which inflates the percentage; "
+        "the absolute stamping cost (hundreds of ns) matches the paper's "
+        "'unnoticeable' claim."
+    )
+    report_sink("table10_intent_origin_perf", text)
+    assert logic < 5e-6
+    assert fraction < 0.25
+    # Functional sanity: the origin really is delivered.
+    record = IntentRecord(
+        intent=Intent(target_package="com.recipient"),
+        sender_package="com.verify",
+        sender_uid=10002,
+        sender_is_system=False,
+        recipient_package="com.recipient",
+        delivery_time_ns=0,
+    )
+    scheme.inspect(record)
+    assert record.intent.get_intent_origin() == "com.verify"

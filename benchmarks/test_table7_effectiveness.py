@@ -1,0 +1,158 @@
+"""Table VII: defense effectiveness & complexity.
+
+Runs every Step-3/Step-1 attack against every defense and reports the
+outcome, plus the line-of-code count of each defense module (the
+paper's complexity column: DAPP 127, FUSE DAC 156, Intent detection 61,
+Intent origin 82 LOC of Java/C — ours is Python, so counts differ but
+stay the same order of magnitude).
+"""
+
+import pathlib
+
+from repro.android.apk import ApkBuilder
+from repro.android.app import App
+from repro.android.intents import Intent
+from repro.android.signing import SigningKey
+from repro.attacks.base import fingerprint_for
+from repro.attacks.redirect_intent import RedirectIntentAttacker
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller, DTIgniteInstaller, GooglePlayInstaller
+from repro.measurement.report import render_table
+from repro.sim.clock import seconds
+
+DEFENSES_DIR = pathlib.Path(__file__).parent.parent / "src" / "repro" / "defenses"
+
+PAPER_LOC = {
+    "dapp": ("User-level app (DAPP)", "Installation Hijacking", "3,4", 127),
+    "fuse_dac": ("FUSE DAC scheme", "Installation Hijacking", "3,4", 156),
+    "intent_detection": ("Intent Detection scheme", "Redirect Intent", "1", 61),
+    "intent_origin": ("Intent origin scheme", "Redirect Intent", "1", 82),
+}
+
+
+def count_loc(path: pathlib.Path) -> int:
+    """Non-blank, non-comment, non-docstring lines of code."""
+    lines = path.read_text().splitlines()
+    loc = 0
+    in_doc = False
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if in_doc:
+            if line.endswith('"""') or line.endswith("'''"):
+                in_doc = False
+            continue
+        if line.startswith(('"""', "'''")):
+            if not (len(line) > 3 and line.endswith(('"""', "'''"))):
+                in_doc = True
+            continue
+        loc += 1
+    return loc
+
+
+def hijack_outcome(installer_cls, attacker_cls, defenses):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=lambda s: attacker_cls(fingerprint_for(installer_cls)),
+        defenses=defenses,
+    )
+    scenario.publish_app("com.victim.app")
+    outcome = scenario.run_install("com.victim.app")
+    detected = any(report.detected for report in scenario.defense_reports())
+    prevented = any(report.prevented for report in scenario.defense_reports())
+    return outcome.hijacked, detected, prevented
+
+
+class _Victim(App):
+    package = "com.facebook.katana"
+
+    def redirect(self):
+        self.start_activity(
+            Intent(target_package="com.android.vending")
+            .with_extra("show_package", "com.facebook.orca")
+        )
+
+
+def redirect_outcome(defenses):
+    scenario = Scenario.build(
+        installer=GooglePlayInstaller,
+        attacker_factory=lambda s: RedirectIntentAttacker(
+            "com.facebook.katana", "com.android.vending", "com.evil.lookalike"
+        ),
+        defenses=defenses,
+    )
+    scenario.publish_app("com.evil.lookalike", label="Messenger")
+    scenario.system.install_user_app(
+        ApkBuilder("com.facebook.katana").build(SigningKey("fb", "k"))
+    )
+    victim = _Victim()
+    scenario.system.attach(victim)
+    scenario.system.ams.bring_to_foreground(victim.package)
+    scenario.attacker.arm(seconds(5))
+    victim.redirect()
+    scenario.system.run()
+    succeeded = scenario.attacker.result().succeeded
+    detected = any(report.detected for report in scenario.defense_reports())
+    origin_known = (
+        scenario.system.ams.top_frame().intent.get_intent_origin() is not None
+    )
+    return succeeded, detected, origin_known
+
+
+def run_matrix():
+    results = {}
+    results["dapp"] = hijack_outcome(AmazonInstaller, FileObserverHijacker,
+                                     ("dapp",))
+    results["fuse_dac"] = hijack_outcome(DTIgniteInstaller, WaitAndSeeHijacker,
+                                         ("fuse-dac",))
+    results["intent_detection"] = redirect_outcome(("intent-detection",))
+    results["intent_origin"] = redirect_outcome(("intent-origin",))
+    return results
+
+
+def test_table7_effectiveness(benchmark, report_sink):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    loc = {
+        "dapp": count_loc(DEFENSES_DIR / "dapp.py"),
+        "fuse_dac": count_loc(DEFENSES_DIR / "fuse_dac.py"),
+        "intent_detection": count_loc(DEFENSES_DIR / "intent_detection.py"),
+        "intent_origin": count_loc(DEFENSES_DIR / "intent_origin.py"),
+    }
+    rows = []
+    for key, (strategy, attack, steps, paper_loc) in PAPER_LOC.items():
+        rows.append((strategy, attack, steps, paper_loc, loc[key],
+                     _verdict(key, results[key])))
+    report_sink("table7_effectiveness", render_table(
+        "Table VII: effectiveness & complexity",
+        ["Strategy", "Tackled Attack", "AIT Step", "paper LOC",
+         "our LOC (py)", "measured outcome"],
+        rows,
+    ))
+
+    # DAPP: hijack proceeds but is detected.
+    hijacked, detected, _prevented = results["dapp"]
+    assert hijacked and detected
+    # FUSE DAC: hijack is outright prevented.
+    hijacked, _detected, prevented = results["fuse_dac"]
+    assert not hijacked and prevented
+    # Intent detection: redirect succeeds (report-only) but is alarmed.
+    succeeded, detected, _ = results["intent_detection"]
+    assert detected
+    # Intent origin: the recipient now knows the sender.
+    _s, _d, origin_known = results["intent_origin"]
+    assert origin_known
+    # Complexity: all defenses stay small (the paper's point).
+    assert all(count < 250 for count in loc.values())
+
+
+def _verdict(key, result):
+    if key == "dapp":
+        return "detected" if result[1] else "missed"
+    if key == "fuse_dac":
+        return "prevented" if result[2] else "missed"
+    if key == "intent_detection":
+        return "alarmed" if result[1] else "missed"
+    return "origin delivered" if result[2] else "missed"

@@ -1,0 +1,78 @@
+"""Table VIII: FUSE DAC scheme performance.
+
+The paper measured 1 MB writes and reads on the original vs modified
+FUSE daemon 100 times each and found the overhead unmeasurable
+(mod/org: 99.8% write, 102.02% read).  We time the same operations on
+our stock vs hardened policy implementations and require the same
+*shape*: the hardened daemon is within a few percent of stock.
+"""
+
+import time
+
+from repro.android.device import nexus5
+from repro.android.filesystem import Caller
+from repro.android.permissions import WRITE_EXTERNAL_STORAGE
+from repro.android.system import AndroidSystem
+from repro.defenses.fuse_dac import install_fuse_dac
+from repro.measurement.report import render_table
+
+ROUNDS = 100
+ONE_MB = b"x" * (1024 * 1024)
+OWNER = Caller(uid=10042, package="com.store",
+               permissions=frozenset({WRITE_EXTERNAL_STORAGE}))
+
+
+def make_system(hardened: bool) -> AndroidSystem:
+    system = AndroidSystem(nexus5())
+    if hardened:
+        install_fuse_dac(system)
+    system.fs.makedirs("/sdcard/bench", OWNER)
+    return system
+
+
+def timed_writes(system) -> float:
+    start = time.perf_counter()
+    for index in range(ROUNDS):
+        system.fs.write_bytes(f"/sdcard/bench/file{index % 8}.apk", OWNER, ONE_MB)
+    return (time.perf_counter() - start) / ROUNDS
+
+
+def timed_reads(system) -> float:
+    system.fs.write_bytes("/sdcard/bench/read.apk", OWNER, ONE_MB)
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        system.fs.read_bytes("/sdcard/bench/read.apk", OWNER)
+    return (time.perf_counter() - start) / ROUNDS
+
+
+def test_table8_fuse_dac_perf(benchmark, report_sink):
+    stock = make_system(hardened=False)
+    hardened = make_system(hardened=True)
+    # Best-of-3 to shrug off scheduler noise, like taking the minimum
+    # in a microbenchmark.
+    write_org = min(timed_writes(stock) for _ in range(3))
+    read_org = min(timed_reads(stock) for _ in range(3))
+    write_mod = min(timed_writes(hardened) for _ in range(3))
+    read_mod = min(timed_reads(hardened) for _ in range(3))
+    # The pytest-benchmark figure tracks the hardened write path.
+    benchmark(lambda: hardened.fs.write_bytes("/sdcard/bench/b.apk", OWNER,
+                                              ONE_MB))
+
+    write_ratio = write_mod / write_org
+    read_ratio = read_mod / read_org
+    rows = [
+        ("write 1MB", f"{write_org * 1e6:.1f} us", f"{write_mod * 1e6:.1f} us",
+         f"{write_ratio * 100:.1f}%", "99.80%"),
+        ("read 1MB", f"{read_org * 1e6:.1f} us", f"{read_mod * 1e6:.1f} us",
+         f"{read_ratio * 100:.1f}%", "102.02%"),
+    ]
+    report_sink("table8_fuse_dac_perf", render_table(
+        "Table VIII: FUSE DAC scheme performance (100 rounds of 1 MB I/O)",
+        ["op", "org DAC", "mod DAC", "mod/org (measured)", "mod/org (paper)"],
+        rows,
+    ))
+
+    # The paper's claim: overhead too small to measure. Allow generous
+    # jitter margins; the hardened path must not be meaningfully slower.
+    assert write_ratio < 2.0
+    assert read_ratio < 2.0

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Step-1 attacks: UI redirection and installer command injection.
+
+Three exploits from Section III-D on one device:
+
+1. **Redirect Intent**: Facebook redirects the user to the Play page of
+   Facebook Messenger; the background malware polls
+   /proc/<pid>/oom_adj, catches the foreground handoff, and races its
+   own Intent in — the user taps Install on a typosquatted lookalike.
+2. **Amazon JS bridge**: an Intent carrying JavaScript makes the Amazon
+   appstore silently install and uninstall apps.
+3. **Xiaomi push forgery**: a forged cloud-push broadcast makes the
+   Xiaomi store silently install the attacker's app.
+
+Then the paper's Intent defenses are switched on and the redirect is
+caught/attributed.
+
+Run:  python examples/appstore_phishing.py
+"""
+
+from repro.android.apk import ApkBuilder
+from repro.android.app import App
+from repro.android.intents import Intent
+from repro.android.signing import SigningKey
+from repro.attacks.command_injection import (
+    AmazonJsInjectionAttacker,
+    XiaomiPushForgeryAttacker,
+)
+from repro.attacks.redirect_intent import RedirectIntentAttacker
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller, GooglePlayInstaller, XiaomiInstaller
+from repro.sim.clock import seconds
+
+
+class FacebookApp(App):
+    package = "com.facebook.katana"
+
+    def open_messenger_page(self):
+        self.start_activity(
+            Intent(target_package="com.android.vending",
+                   target_activity="AppDetailActivity")
+            .with_extra("show_package", "com.facebook.orca")
+        )
+
+
+def redirect_demo(defenses=()):
+    scenario = Scenario.build(
+        installer=GooglePlayInstaller,
+        attacker_factory=lambda s: RedirectIntentAttacker(
+            victim_package="com.facebook.katana",
+            store_package="com.android.vending",
+            lookalike_package="com.faceboook.orca",
+        ),
+        defenses=defenses,
+    )
+    scenario.publish_app("com.facebook.orca", label="Messenger")
+    scenario.publish_app("com.faceboook.orca", label="Messenger")
+    scenario.system.install_user_app(
+        ApkBuilder("com.facebook.katana").label("Facebook")
+        .build(SigningKey("facebook", "k"))
+    )
+    facebook = FacebookApp()
+    scenario.system.attach(facebook)
+    scenario.system.ams.bring_to_foreground(facebook.package)
+    scenario.attacker.arm(seconds(5))
+    facebook.open_messenger_page()
+    scenario.system.run()
+    scenario.installer.user_clicks_install()
+    scenario.system.run()
+    return scenario
+
+
+def main():
+    print("=== 1. Redirect Intent phishing " + "=" * 30)
+    scenario = redirect_demo()
+    print(f"user thought they were sent to : com.facebook.orca")
+    print(f"store page actually displayed  : {scenario.installer.displayed_package}")
+    print(f"app the user's tap installed   : "
+          f"{'com.faceboook.orca' if scenario.system.pms.is_installed('com.faceboook.orca') else 'genuine'}")
+
+    print("\n--- with intent-detection + intent-origin defenses ---")
+    defended = redirect_demo(defenses=("intent-detection", "intent-origin"))
+    for alarm in defended.intent_detection.report.alarms:
+        print(f"ALARM: {alarm}")
+    top = defended.system.ams.top_frame()
+    print(f"origin now visible to the store: {top.intent.get_intent_origin()}")
+
+    print("\n=== 2. Amazon JS-bridge command injection " + "=" * 20)
+    amazon = Scenario.build(installer=AmazonInstaller,
+                            attacker=AmazonJsInjectionAttacker)
+    amazon.publish_app("com.evil.payload", label="Totally Legit")
+    amazon.attacker.inject_install("com.evil.payload")
+    amazon.system.run()
+    print(f"silently installed : {amazon.system.pms.is_installed('com.evil.payload')}")
+    amazon.attacker.inject_uninstall("com.evil.payload")
+    amazon.system.run()
+    print(f"silently removed   : {not amazon.system.pms.is_installed('com.evil.payload')}")
+
+    print("\n=== 3. Xiaomi push forgery " + "=" * 34)
+    xiaomi = Scenario.build(installer=XiaomiInstaller,
+                            attacker=XiaomiPushForgeryAttacker)
+    xiaomi.publish_app("com.evil.payload2", label="Evil", app_id="id-7")
+    xiaomi.attacker.forge_push("id-7", "com.evil.payload2")
+    xiaomi.system.run()
+    print(f"forged push installed: "
+          f"{xiaomi.system.pms.is_installed('com.evil.payload2')}")
+
+    protected = Scenario.build(
+        installer=XiaomiInstaller(receiver_protected=True),
+        attacker=XiaomiPushForgeryAttacker,
+    )
+    protected.publish_app("com.evil.payload2", label="Evil", app_id="id-7")
+    reached = protected.attacker.forge_push("id-7", "com.evil.payload2")
+    protected.system.run()
+    print(f"with permission-guarded receiver, forgery reached {reached} receivers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The DTIgnite scenario: carrier push hijacking and what it buys.
+
+A Galaxy S6 Edge on Verizon ships DTIgnite, which silently pushes
+carrier apps through the Download Manager onto /sdcard/DTIgnite.  The
+malicious app:
+
+1. hijacks a carrier push with the *wait-and-see* strategy (no
+   FileObserver: poll for the EOCD record, wait 2 s, move a pre-staged
+   twin into place),
+2. escalates: plants the vulnerable platform-signed remote-support app
+   (every Samsung device shares one platform key, so it immediately
+   receives INSTALL_PACKAGES), then drives its unauthenticated command
+   interface to silently install a second-stage payload,
+3. grabs a Hare permission to steal contacts guarded by S-Voice.
+
+Run:  python examples/carrier_bloatware_hijack.py
+"""
+
+from repro.android import device
+from repro.android.apk import ApkBuilder
+from repro.attacks.base import MaliciousApp, fingerprint_for
+from repro.attacks.hare import HareAttacker, HareCreatingSystemApp, build_svoice_apk
+from repro.attacks.privilege_escalation import (
+    VULNERABLE_APP_PACKAGE,
+    VulnerableSystemApp,
+    VulnerableSystemAppAttacker,
+    build_vulnerable_apk,
+)
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import DTIgniteInstaller
+
+
+def main():
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: WaitAndSeeHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+        device=device.galaxy_s6_edge_verizon(),
+    )
+    print(f"device  : {scenario.system.profile.model} "
+          f"({scenario.system.profile.carrier})")
+
+    # -- stage 1: hijack the carrier push ---------------------------------
+    scenario.publish_app("com.carrier.nflmobile", label="NFL Mobile")
+    outcome = scenario.run_install("com.carrier.nflmobile")
+    print(f"\n[1] carrier push hijacked: {outcome.hijacked} "
+          f"(installed signer: {outcome.installed_certificate_owner})")
+
+    # -- stage 2: plant the vulnerable platform-signed app ------------------
+    vuln_apk = build_vulnerable_apk(scenario.system.platform_key)
+    scenario.publish_apk(vuln_apk)
+    scenario.run_install(VULNERABLE_APP_PACKAGE, arm_attacker=False)
+    has_priv = scenario.system.pms.check_permission(
+        "android.permission.INSTALL_PACKAGES", VULNERABLE_APP_PACKAGE
+    )
+    print(f"[2] vulnerable app planted; INSTALL_PACKAGES granted: {has_priv}")
+
+    vulnerable = VulnerableSystemApp()
+    scenario.system.attach(vulnerable)
+    exploiter = VulnerableSystemAppAttacker(package="com.evil.exploiter")
+    scenario.system.install_user_app(MaliciousApp.build_apk("com.evil.exploiter"))
+    scenario.system.attach(exploiter)
+    stage2 = (
+        ApkBuilder("com.evil.stage2")
+        .label("System Helper")
+        .uses_permission("android.permission.READ_CONTACTS")
+        .payload(b"<stage 2>")
+        .build(exploiter.key)
+    )
+    exploiter.make_dirs("/sdcard/Download")
+    exploiter.write_file("/sdcard/Download/s2.apk", stage2.to_bytes())
+    exploiter.exploit_install("/sdcard/Download/s2.apk")
+    scenario.system.run()
+    print(f"    second-stage payload silently installed: "
+          f"{scenario.system.pms.is_installed('com.evil.stage2')}")
+
+    # -- stage 3: Hare permission grab --------------------------------------
+    scenario.publish_apk(build_svoice_apk(scenario.system.platform_key))
+    scenario.run_install("com.vlingo.midas", arm_attacker=False)
+    svoice = HareCreatingSystemApp()
+    scenario.system.attach(svoice)
+    scenario.system.install_user_app(HareAttacker.build_hare_apk("com.evil.hare"))
+    hare = HareAttacker(package="com.evil.hare")
+    scenario.system.attach(hare)
+    result = hare.grab_and_steal(svoice)
+    print(f"[3] hare grab succeeded: {result.succeeded}; "
+          f"contacts stolen: {hare.stolen_contacts}")
+
+
+if __name__ == "__main__":
+    main()

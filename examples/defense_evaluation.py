@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Defense evaluation: the Table VII effectiveness matrix.
+
+Runs every Step-3 attack against every SD-Card installer, once
+undefended and once per defense, and prints who prevented/detected
+what — plus the false-positive check on a benign workload.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.campaign import Campaign, benign_workload
+from repro.core.scenario import Scenario
+from repro.installers import (
+    AmazonInstaller,
+    BaiduInstaller,
+    DTIgniteInstaller,
+    QihooInstaller,
+    XiaomiInstaller,
+)
+from repro.measurement.report import render_table
+
+STORES = [AmazonInstaller, XiaomiInstaller, BaiduInstaller, QihooInstaller,
+          DTIgniteInstaller]
+ATTACKS = [("FileObserver", FileObserverHijacker),
+           ("wait-and-see", WaitAndSeeHijacker)]
+DEFENSES = [(), ("dapp",), ("fuse-dac",)]
+
+
+def run_cell(installer_cls, attacker_cls, defenses):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=lambda s: attacker_cls(fingerprint_for(installer_cls)),
+        defenses=defenses,
+    )
+    scenario.publish_app("com.victim.app", label="Victim")
+    outcome = scenario.run_install("com.victim.app")
+    if outcome.hijacked and scenario.dapp is not None and scenario.dapp.detected:
+        return "hijacked+DETECTED"
+    if outcome.hijacked:
+        return "HIJACKED"
+    if scenario.fuse_dac is not None and scenario.fuse_dac.report.prevented:
+        return "prevented"
+    return "clean"
+
+
+def main():
+    for attack_name, attacker_cls in ATTACKS:
+        rows = []
+        for installer_cls in STORES:
+            row = [installer_cls.profile.label]
+            for defenses in DEFENSES:
+                row.append(run_cell(installer_cls, attacker_cls, defenses))
+            rows.append(row)
+        print(render_table(
+            f"Attack: {attack_name} hijacking",
+            ["installer", "undefended", "DAPP", "FUSE-DAC"],
+            rows,
+        ))
+        print()
+
+    print("False-positive study (benign workload, all defenses on):")
+    scenario = Scenario.build(
+        installer=AmazonInstaller,
+        defenses=("dapp", "fuse-dac", "intent-detection", "intent-origin"),
+    )
+    packages = benign_workload(scenario, count=60)
+    stats = Campaign(scenario).install_many(packages)
+    print(f"  installs: {stats.runs}  clean: {stats.clean_installs}  "
+          f"alarms: {stats.alarms}  blocked: {stats.blocked}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of *Ghost Installer in the Shadow* (DSN 2017).
+
+A production-quality Python library that re-implements, over a
+discrete-event Android platform simulator, the paper's App Installation
+Transaction (AIT) analysis: the Ghost Installer Attacks (GIA), the
+user-level and system-level defenses, and the measurement study.
+
+Quick start
+-----------
+>>> from repro.core import Scenario
+>>> from repro.installers import DTIgniteInstaller
+>>> from repro.attacks import FileObserverHijacker
+>>> from repro.attacks.base import fingerprint_for
+>>> scenario = Scenario.build(
+...     installer=DTIgniteInstaller,
+...     attacker_factory=lambda s: FileObserverHijacker(
+...         fingerprint_for(DTIgniteInstaller)),
+... )
+>>> _listing = scenario.publish_app("com.example.pushed")
+>>> scenario.run_install("com.example.pushed").hijacked
+True
+"""
+
+from repro.android import AndroidSystem, DeviceProfile
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["AndroidSystem", "DeviceProfile", "ReproError", "__version__"]

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``demo``     — run the quickstart hijack + defense story.
+- ``attack``   — run one attack against one installer
+  (``--installer amazon --attack fileobserver --defense fuse-dac``).
+- ``tables``   — regenerate the Section IV measurement tables.
+- ``audit``    — audit every bundled installer profile against the
+  paper's developer suggestions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import all_installer_types, installer_by_name
+
+ATTACKS = {
+    "fileobserver": FileObserverHijacker,
+    "wait-and-see": WaitAndSeeHijacker,
+    "none": None,
+}
+
+
+def _run_demo_inline() -> int:
+    for defenses in ((), ("fuse-dac",)):
+        scenario = Scenario.build(
+            installer=installer_by_name("amazon"),
+            attacker_factory=lambda s: FileObserverHijacker(
+                fingerprint_for(installer_by_name("amazon"))
+            ),
+            defenses=defenses,
+        )
+        scenario.publish_app("com.bank.app", label="MyBank")
+        outcome = scenario.run_install("com.bank.app")
+        label = "defended" if defenses else "undefended"
+        print(f"[{label}] hijacked={outcome.hijacked} "
+              f"signer={outcome.installed_certificate_owner}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    installer_cls = installer_by_name(args.installer)
+    attacker_cls = ATTACKS[args.attack]
+    factory = None
+    if attacker_cls is not None:
+        factory = lambda s: attacker_cls(fingerprint_for(installer_cls))
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=factory,
+        defenses=tuple(args.defense),
+    )
+    scenario.publish_app(args.package, label="Target App")
+    outcome = scenario.run_install(args.package)
+    print(outcome.trace.describe())
+    print(f"installed : {outcome.installed}")
+    print(f"hijacked  : {outcome.hijacked}")
+    if outcome.error:
+        print(f"error     : {outcome.error}")
+    for report in scenario.defense_reports():
+        for alarm in report.alarms:
+            print(f"[{report.defense_name}] ALARM: {alarm}")
+        for blocked in report.blocked_operations:
+            print(f"[{report.defense_name}] BLOCKED: {blocked}")
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.analysis.factory_images import generate_fleet
+    from repro.measurement.report import (
+        render_installer_breakdown,
+        render_table4,
+        render_table5,
+        render_table6,
+    )
+    from repro.measurement.tables import (
+        compute_table2,
+        compute_table3,
+        compute_table4,
+        compute_table5,
+        compute_table6,
+    )
+
+    print(render_installer_breakdown("Table II (Google Play apps)",
+                                     compute_table2()))
+    print()
+    print(render_installer_breakdown("Table III (pre-installed apps)",
+                                     compute_table3()))
+    print()
+    print(render_table4(compute_table4()))
+    print()
+    fleet = generate_fleet()
+    print(render_table5(compute_table5(fleet)))
+    print()
+    print(render_table6(compute_table6(fleet)))
+    return 0
+
+
+def _cmd_audit(_args: argparse.Namespace) -> int:
+    from repro.toolkit.auditor import audit_profile
+    from repro.toolkit.secure_installer import ToolkitInstaller
+
+    targets = dict(all_installer_types())
+    targets["toolkit"] = ToolkitInstaller
+    for name in sorted(targets):
+        findings = audit_profile(targets[name].profile)
+        print(f"{name} ({targets[name].profile.package})")
+        if not findings:
+            print("  clean")
+        for finding in findings:
+            print(f"  {finding}")
+            print(f"      {finding.detail}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ghost Installer (DSN 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart hijack + defense")
+
+    attack = sub.add_parser("attack", help="run one attack scenario")
+    attack.add_argument("--installer", default="amazon",
+                        choices=sorted(all_installer_types()))
+    attack.add_argument("--attack", default="fileobserver",
+                        choices=sorted(ATTACKS))
+    attack.add_argument("--defense", action="append", default=[],
+                        choices=["dapp", "fuse-dac", "intent-detection",
+                                 "intent-origin"])
+    attack.add_argument("--package", default="com.victim.app")
+
+    sub.add_parser("tables", help="regenerate Tables II-VI")
+    sub.add_parser("audit", help="audit installer designs")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo_inline()
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The measurement study (Section IV): corpora, static analysis, stats.
+
+The paper measured real corpora (12,750 top Google Play apps, 12,050
+pre-installed apps from 60 factory images, 1,855 factory images,
+1.2 million store APKs).  Those are proprietary, so this package
+*generates* synthetic corpora with the paper's reported trait
+distributions — emitting smali-like code with the traits planted — and
+then runs the paper's actual analyses over them:
+
+- :mod:`repro.analysis.smali` — the IR + def-use-chain machinery
+  standing in for Apktool + Soot/jimple,
+- :mod:`repro.analysis.corpus` — Play and pre-installed app corpora,
+- :mod:`repro.analysis.classifier` — the vulnerable/secure/unknown
+  installer classifier (Tables II and III),
+- :mod:`repro.analysis.redirect_scan` — hardcoded Play URL/scheme
+  counting (Table IV),
+- :mod:`repro.analysis.factory_images` — vendor image fleets,
+  INSTALL_PACKAGES prevalence (Tables V and VI),
+- :mod:`repro.analysis.platform_keys` — single-platform-key findings,
+- :mod:`repro.analysis.hare_analysis` — Hare permission prevalence.
+"""
+
+from repro.analysis.smali import SmaliMethod, SmaliProgram, parse_program
+from repro.analysis.corpus import (
+    CorpusApp,
+    GroundTruth,
+    generate_play_corpus,
+    generate_preinstalled_corpus,
+)
+from repro.analysis.classifier import Category, InstallerClassifier
+
+__all__ = [
+    "SmaliMethod",
+    "SmaliProgram",
+    "parse_program",
+    "CorpusApp",
+    "GroundTruth",
+    "generate_play_corpus",
+    "generate_preinstalled_corpus",
+    "Category",
+    "InstallerClassifier",
+]

@@ -1,0 +1,483 @@
+"""Synthetic app corpora with planted, classifier-recoverable traits.
+
+The generator emits real smali-like code per app (parsed and analyzed
+by :mod:`repro.analysis.classifier`), planting the traits the paper
+reports at their reported rates:
+
+Google Play corpus (top 12,750 apps, Section IV-A):
+    1,493 contain the installation API marker; of those 779 stage on
+    /sdcard without making the APK world-readable (potentially
+    vulnerable), 152 stage internally and set it world-readable
+    (potentially secure), 562 are unresolvable (reflection, field-loaded
+    modes, mixed storage).  8,721 request WRITE_EXTERNAL_STORAGE.
+    84.7% carry >= 1 hardcoded Play URL/scheme, with Table IV's count
+    distribution (723 exactly one, 1,405 <= 2, 2,090 <= 4, 2,337 <= 8).
+
+Pre-installed corpus (12,050 app instances on 60 images, 1,613 unique):
+    238 unique installers; 102 vulnerable / 3 secure / 133 unknown.
+    5,864 of the 12,050 instances request WRITE_EXTERNAL_STORAGE.
+
+Exact agreement with the paper's counts is therefore by construction —
+the synthetic corpus validates the analysis pipeline, not the 2016 app
+ecosystem (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CorpusError
+from repro.sim.rand import DeterministicRandom
+
+WRITE_EXTERNAL = "android.permission.WRITE_EXTERNAL_STORAGE"
+INSTALL_MARKER = "application/vnd.android.package-archive"
+
+PLAY_URL = "http://play.google.com/store/apps/details?id="
+MARKET_SCHEME = "market://details?id="
+MARKET_URL = "https://market.android.com/details?id="
+
+PLAY_CATEGORIES = [
+    "BOOKS", "BUSINESS", "COMICS", "COMMUNICATION", "EDUCATION",
+    "ENTERTAINMENT", "FINANCE", "GAMES", "HEALTH", "LIBRARIES",
+    "LIFESTYLE", "MEDIA", "MEDICAL", "MUSIC", "NEWS", "PERSONALIZATION",
+    "PHOTOGRAPHY", "PRODUCTIVITY", "SHOPPING", "SOCIAL", "SPORTS",
+    "TOOLS", "TRANSPORTATION", "TRAVEL", "WEATHER", "WIDGETS", "UTILITIES",
+]
+
+# The paper's three confirmed-secure pre-installed installers.
+SECURE_PREINSTALLED_PACKAGES = (
+    "com.miui.tsmclient",
+    "com.huawei.remoteassistant",
+    "com.samsung.android.spay",
+)
+
+
+class GroundTruth(enum.Enum):
+    """What the generator planted (the classifier must *recover* it)."""
+
+    NON_INSTALLER = "non-installer"
+    VULNERABLE = "vulnerable"            # sdcard staging, no readable setter
+    SECURE = "secure"                    # internal staging, world-readable
+    UNKNOWN_REFLECTION = "unknown-reflection"
+    UNKNOWN_FIELD_MODE = "unknown-field-mode"
+    UNKNOWN_MIXED = "unknown-mixed"
+
+    @property
+    def is_installer(self) -> bool:
+        """True for apps carrying the installation API."""
+        return self is not GroundTruth.NON_INSTALLER
+
+    @property
+    def is_unknown(self) -> bool:
+        """True for the three unresolvable flavors."""
+        return self in (
+            GroundTruth.UNKNOWN_REFLECTION,
+            GroundTruth.UNKNOWN_FIELD_MODE,
+            GroundTruth.UNKNOWN_MIXED,
+        )
+
+
+@dataclass
+class CorpusApp:
+    """One synthetic app: manifest facts plus generated code."""
+
+    package: str
+    category: str
+    truth: GroundTruth
+    declared_permissions: frozenset
+    smali_text: str
+    redirect_urls: Tuple[str, ...] = ()
+    is_preinstalled: bool = False
+    vendor: str = ""
+    instances: int = 1  # how many factory images carry it (pre-installed)
+
+    def has_permission(self, name: str) -> bool:
+        """Manifest check used by the classifier's first pass."""
+        return name in self.declared_permissions
+
+
+@dataclass(frozen=True)
+class PlayCorpusSpec:
+    """Calibration constants for the Play corpus (paper Section IV)."""
+
+    total: int = 12750
+    vulnerable: int = 779
+    secure: int = 152
+    unknown_reflection: int = 200
+    unknown_field_mode: int = 200
+    unknown_mixed: int = 162
+    write_external_total: int = 8721
+    # Table IV redirect-count buckets: (count, apps-with-exactly-that).
+    redirect_exact_1: int = 723
+    redirect_exact_2: int = 682
+    redirect_3_to_4: int = 685
+    redirect_5_to_8: int = 247
+    redirect_9_plus: int = 8462
+
+    @property
+    def installers(self) -> int:
+        """Apps containing the installation API (1,493 in the paper)."""
+        return (self.vulnerable + self.secure + self.unknown_reflection
+                + self.unknown_field_mode + self.unknown_mixed)
+
+    @property
+    def redirecting(self) -> int:
+        """Apps with >= 1 hardcoded URL/scheme (84.7% in the paper)."""
+        return (self.redirect_exact_1 + self.redirect_exact_2
+                + self.redirect_3_to_4 + self.redirect_5_to_8
+                + self.redirect_9_plus)
+
+
+@dataclass(frozen=True)
+class PreinstalledCorpusSpec:
+    """Calibration constants for the pre-installed corpus."""
+
+    unique_apps: int = 1613
+    total_instances: int = 12050
+    vulnerable: int = 102
+    secure: int = 3
+    unknown: int = 133
+    write_external_instances: int = 5864
+
+    @property
+    def installers(self) -> int:
+        """Unique pre-installed apps with the installation API (238)."""
+        return self.vulnerable + self.secure + self.unknown
+
+
+# ---------------------------------------------------------------------------
+# smali code templates
+# ---------------------------------------------------------------------------
+
+
+def _class_header(package: str, suffix: str) -> str:
+    path = package.replace(".", "/")
+    return f".class L{path}/{suffix};"
+
+
+def _install_trigger_block() -> List[str]:
+    """The installation API call every installer carries."""
+    return [
+        f'const-string v3, "{INSTALL_MARKER}"',
+        "invoke-virtual {v0, v4, v3}, Landroid/content/Intent;->"
+        "setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;",
+        "invoke-virtual {v0, v4}, Landroid/content/Context;->"
+        "startActivity(Landroid/content/Intent;)V",
+    ]
+
+
+def _vulnerable_body(package: str) -> List[str]:
+    """SD-Card staging, no world-readable call."""
+    return [
+        f'const-string v1, "https://cdn.{package}.example/update.apk"',
+        f'const-string v2, "/sdcard/{package.split(".")[-1]}/update.apk"',
+        "invoke-static {v1, v2}, Lcom/helper/Net;->"
+        "download(Ljava/lang/String;Ljava/lang/String;)V",
+        *_install_trigger_block(),
+    ]
+
+
+def _secure_body(package: str, variant: int) -> List[str]:
+    """Internal staging with a *confirmed* world-readable setter."""
+    if variant % 3 == 0:
+        setter = [
+            'const-string v1, "update.apk"',
+            "const/4 v2, 1",  # MODE_WORLD_READABLE
+            "invoke-virtual {v0, v1, v2}, Landroid/content/Context;->"
+            "openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;",
+        ]
+    elif variant % 3 == 1:
+        setter = [
+            "const/4 v2, 1",  # readable = true
+            "const/4 v3, 0",  # ownerOnly = false
+            "invoke-virtual {v1, v2, v3}, Ljava/io/File;->setReadable(ZZ)Z",
+        ]
+    else:
+        setter = [
+            f'const-string v2, "chmod 644 /data/data/{package}/files/update.apk"',
+            "invoke-virtual {v1, v2}, Ljava/lang/Runtime;->"
+            "exec(Ljava/lang/String;)Ljava/lang/Process;",
+        ]
+    return [
+        f'const-string v5, "/data/data/{package}/files/update.apk"',
+        *setter,
+        *_install_trigger_block(),
+    ]
+
+
+def _unknown_reflection_body(package: str, index: int = 0) -> List[str]:
+    """Install marker present, but the flow runs through an opaque edge.
+
+    Alternates between the two failure modes the paper hit with
+    Flowdroid: reflective class loading (incomplete CFG) and
+    ``Handler.handleMessage`` (untrackable callback).
+    """
+    if index % 2 == 0:
+        opaque_edge = [
+            f'const-string v1, "com.{package.split(".")[-1]}.DownloadTask"',
+            "invoke-static {v1}, Ljava/lang/Class;->"
+            "forName(Ljava/lang/String;)Ljava/lang/Class;",
+        ]
+    else:
+        opaque_edge = [
+            "invoke-virtual {v0, v2}, Landroid/os/Handler;->"
+            "handleMessage(Landroid/os/Message;)V",
+        ]
+    return [*opaque_edge, *_install_trigger_block()]
+
+
+def _unknown_field_mode_body(package: str) -> List[str]:
+    """openFileOutput whose mode comes from a field: def-use dead end."""
+    return [
+        'const-string v1, "update.apk"',
+        f"iget v2, v0, L{package.replace('.', '/')}/Config;->fileMode:I",
+        "invoke-virtual {v0, v1, v2}, Landroid/content/Context;->"
+        "openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;",
+        *_install_trigger_block(),
+    ]
+
+
+def _unknown_mixed_body(package: str) -> List[str]:
+    """Uses both sdcard and a confirmed readable setter: ambiguous."""
+    return [
+        f'const-string v1, "/sdcard/{package.split(".")[-1]}/cache.apk"',
+        'const-string v2, "fallback.apk"',
+        "const/4 v3, 1",
+        "invoke-virtual {v0, v2, v3}, Landroid/content/Context;->"
+        "openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;",
+        *_install_trigger_block(),
+    ]
+
+
+def _non_installer_body(package: str, with_sdcard: bool) -> List[str]:
+    body = [
+        f'const-string v1, "https://api.{package.split(".")[-1]}.example/feed"',
+        "invoke-static {v1}, Lcom/helper/Net;->get(Ljava/lang/String;)V",
+    ]
+    if with_sdcard:
+        body.append('const-string v2, "/sdcard/Pictures/cache.jpg"')
+    return body
+
+
+def _redirect_method(urls: Sequence[str]) -> List[str]:
+    lines = [".method openStorePage()V"]
+    for index, url in enumerate(urls, start=1):
+        lines.append(f'const-string v{index % 8}, "{url}"')
+    lines.append(
+        "invoke-virtual {v0, v4}, Landroid/content/Context;->"
+        "startActivity(Landroid/content/Intent;)V"
+    )
+    lines.append(".end method")
+    return lines
+
+
+_BODY_BUILDERS = {
+    GroundTruth.VULNERABLE: lambda pkg, idx: _vulnerable_body(pkg),
+    GroundTruth.SECURE: _secure_body,
+    GroundTruth.UNKNOWN_REFLECTION: _unknown_reflection_body,
+    GroundTruth.UNKNOWN_FIELD_MODE: lambda pkg, idx: _unknown_field_mode_body(pkg),
+    GroundTruth.UNKNOWN_MIXED: lambda pkg, idx: _unknown_mixed_body(pkg),
+}
+
+
+def _render_app_code(package: str, truth: GroundTruth, index: int,
+                     redirect_urls: Sequence[str],
+                     sdcard_noise: bool) -> str:
+    lines = [_class_header(package, "MainActivity")]
+    lines.append(".method run()V")
+    if truth is GroundTruth.NON_INSTALLER:
+        lines.extend(_non_installer_body(package, sdcard_noise))
+    else:
+        lines.extend(_BODY_BUILDERS[truth](package, index))
+    lines.append(".end method")
+    if redirect_urls:
+        lines.extend(_redirect_method(redirect_urls))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# corpus generation
+# ---------------------------------------------------------------------------
+
+
+def _redirect_counts(spec: PlayCorpusSpec, rng: DeterministicRandom) -> List[int]:
+    """Per-app hardcoded-URL counts matching Table IV's buckets."""
+    counts: List[int] = []
+    counts.extend([1] * spec.redirect_exact_1)
+    counts.extend([2] * spec.redirect_exact_2)
+    for index in range(spec.redirect_3_to_4):
+        counts.append(3 + index % 2)
+    for index in range(spec.redirect_5_to_8):
+        counts.append(5 + index % 4)
+    for index in range(spec.redirect_9_plus):
+        counts.append(9 + index % 16)
+    counts.extend([0] * (spec.total - len(counts)))
+    rng.shuffle(counts)
+    return counts
+
+
+def _make_urls(package: str, count: int,
+               rng: DeterministicRandom) -> Tuple[str, ...]:
+    urls = []
+    for index in range(count):
+        target = f"com.promo.{rng.token(6)}" if index else _predictable_target(package)
+        scheme = rng.choice([PLAY_URL, MARKET_SCHEME, MARKET_URL])
+        urls.append(f"{scheme}{target}")
+    return tuple(urls)
+
+
+def _predictable_target(package: str) -> str:
+    """Single-URL apps redirect to one predictable companion app."""
+    return f"{package}.companion"
+
+
+def generate_play_corpus(seed: int = 2016,
+                         spec: Optional[PlayCorpusSpec] = None) -> List[CorpusApp]:
+    """Generate the synthetic top-12,750 Google Play corpus."""
+    spec = spec or PlayCorpusSpec()
+    rng = DeterministicRandom(seed).fork("play-corpus")
+    truths: List[GroundTruth] = []
+    truths.extend([GroundTruth.VULNERABLE] * spec.vulnerable)
+    truths.extend([GroundTruth.SECURE] * spec.secure)
+    truths.extend([GroundTruth.UNKNOWN_REFLECTION] * spec.unknown_reflection)
+    truths.extend([GroundTruth.UNKNOWN_FIELD_MODE] * spec.unknown_field_mode)
+    truths.extend([GroundTruth.UNKNOWN_MIXED] * spec.unknown_mixed)
+    truths.extend(
+        [GroundTruth.NON_INSTALLER] * (spec.total - len(truths))
+    )
+    if len(truths) != spec.total:
+        raise CorpusError("Play corpus spec does not sum to its total")
+    rng.shuffle(truths)
+    redirect_counts = _redirect_counts(spec, rng.fork("redirects"))
+
+    # WRITE_EXTERNAL_STORAGE: every vulnerable app needs it; fill the
+    # remainder from the other apps deterministically.
+    permission_budget = spec.write_external_total - spec.vulnerable
+    if permission_budget < 0:
+        raise CorpusError("write_external_total below vulnerable count")
+
+    apps: List[CorpusApp] = []
+    for index, truth in enumerate(truths):
+        category = PLAY_CATEGORIES[index % len(PLAY_CATEGORIES)]
+        package = f"com.play.{category.lower()}.app{index:05d}"
+        permissions = {"android.permission.INTERNET"}
+        if truth is GroundTruth.VULNERABLE:
+            permissions.add(WRITE_EXTERNAL)
+        elif permission_budget > 0:
+            permissions.add(WRITE_EXTERNAL)
+            permission_budget -= 1
+        urls = _make_urls(package, redirect_counts[index], rng)
+        sdcard_noise = truth is GroundTruth.NON_INSTALLER and index % 5 == 0
+        apps.append(
+            CorpusApp(
+                package=package,
+                category=category,
+                truth=truth,
+                declared_permissions=frozenset(permissions),
+                smali_text=_render_app_code(package, truth, index, urls,
+                                            sdcard_noise),
+                redirect_urls=urls,
+            )
+        )
+    if permission_budget != 0:
+        raise CorpusError("could not place all WRITE_EXTERNAL grants")
+    return apps
+
+
+def generate_preinstalled_corpus(
+        seed: int = 2016,
+        spec: Optional[PreinstalledCorpusSpec] = None) -> List[CorpusApp]:
+    """Generate the synthetic pre-installed corpus (60 images, deduped).
+
+    Returns the 1,613 *unique* apps; each carries ``instances`` — how
+    many of the 60 images ship it — so instance-weighted statistics
+    (like the paper's 5,864/12,050 WRITE_EXTERNAL count) can be taken.
+    """
+    spec = spec or PreinstalledCorpusSpec()
+    rng = DeterministicRandom(seed).fork("preinstalled-corpus")
+    truths: List[GroundTruth] = []
+    truths.extend([GroundTruth.VULNERABLE] * spec.vulnerable)
+    truths.extend([GroundTruth.SECURE] * spec.secure)
+    reflection = spec.unknown // 2
+    field_mode = spec.unknown - reflection
+    truths.extend([GroundTruth.UNKNOWN_REFLECTION] * reflection)
+    truths.extend([GroundTruth.UNKNOWN_FIELD_MODE] * field_mode)
+    truths.extend(
+        [GroundTruth.NON_INSTALLER] * (spec.unique_apps - len(truths))
+    )
+    rng.shuffle(truths)
+
+    # Instance counts: N unique apps over `total_instances` placements.
+    # With 1,613 apps and 12,050 instances: 759 apps appear on 8 images
+    # and 854 on 7 (759*8 + 854*7 = 12,050).
+    eight_count = spec.total_instances - 7 * spec.unique_apps
+    if not 0 <= eight_count <= spec.unique_apps:
+        raise CorpusError("instance arithmetic does not fit the spec")
+    instance_counts = [8] * eight_count + [7] * (spec.unique_apps - eight_count)
+
+    # WRITE_EXTERNAL is counted instance-weighted: 733 eight-instance
+    # apps hold it (733 * 8 = 5,864).  Vulnerable apps must hold it, so
+    # they are placed among those 733.
+    if spec.write_external_instances % 8 != 0:
+        raise CorpusError("write_external_instances must divide by 8 here")
+    write_apps = spec.write_external_instances // 8
+    if write_apps > eight_count or spec.vulnerable > write_apps:
+        raise CorpusError("cannot place WRITE_EXTERNAL holders")
+
+    vendors = ["samsung", "xiaomi", "huawei"]
+    apps: List[CorpusApp] = []
+    secure_assigned = 0
+    # Vulnerable apps hold WRITE_EXTERNAL by definition; reserve their
+    # quota upfront so the non-vulnerable fill stays exact.
+    write_remaining = write_apps - spec.vulnerable
+    for index, truth in enumerate(truths):
+        vendor = vendors[index % len(vendors)]
+        if truth is GroundTruth.SECURE:
+            package = SECURE_PREINSTALLED_PACKAGES[secure_assigned]
+            secure_assigned += 1
+        else:
+            package = f"com.{vendor}.sys.app{index:04d}"
+        permissions = {"android.permission.INTERNET"}
+        if truth is GroundTruth.VULNERABLE:
+            instances = 8
+            permissions.add(WRITE_EXTERNAL)
+        else:
+            instances = instance_counts[index]
+            if instances == 8 and write_remaining > 0:
+                permissions.add(WRITE_EXTERNAL)
+                write_remaining -= 1
+        urls: Tuple[str, ...] = ()
+        apps.append(
+            CorpusApp(
+                package=package,
+                category="PREINSTALLED",
+                truth=truth,
+                declared_permissions=frozenset(permissions),
+                smali_text=_render_app_code(package, truth, index, urls, False),
+                is_preinstalled=True,
+                vendor=vendor,
+                instances=instances,
+            )
+        )
+    # Rebalance instance totals: vulnerable apps were forced to 8, which
+    # may double-count slots; fix by trimming other 8-instance apps.
+    _rebalance_instances(apps, spec.total_instances)
+    return apps
+
+
+def _rebalance_instances(apps: List[CorpusApp], target_total: int) -> None:
+    current = sum(app.instances for app in apps)
+    index = 0
+    while current > target_total and index < len(apps):
+        app = apps[index]
+        if (app.instances == 8 and app.truth is not GroundTruth.VULNERABLE
+                and WRITE_EXTERNAL not in app.declared_permissions):
+            app.instances = 7
+            current -= 1
+        index += 1
+    if current != target_total:
+        raise CorpusError(
+            f"instance rebalance failed: {current} != {target_total}"
+        )

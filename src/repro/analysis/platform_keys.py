@@ -1,0 +1,202 @@
+"""Platform-key usage study (Section IV-B).
+
+Two findings are reproduced:
+
+1. **One platform key per vendor.** Every factory image of a vendor
+   carries the same platform certificate; the analysis collects the
+   distinct certificates per vendor from the fleet and the per-image /
+   package-distinct platform-signed app counts.
+2. **Platform-signed apps in appstores.** From signatures of 1.2 million
+   apps across 33 stores (400,000 of them Google Play), 61 / 125 / 30
+   apps are signed with the Samsung / Huawei / Xiaomi platform key —
+   mostly MDM, remote-support, VPN and backup apps, including the
+   known-vulnerable TeamViewer.  Any of them hands a GIA attacker a
+   platform-signed payload.
+
+The 1.2M-app signature table is held as numpy arrays of signer indexes
+(one per store) so the full corpus fits in a few megabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.android.signing import platform_key
+from repro.analysis.factory_images import ALL_SPECS, Fleet
+from repro.sim.rand import DeterministicRandom
+
+# Signer-index convention in catalog arrays.
+SAMSUNG_KEY_INDEX = 0
+HUAWEI_KEY_INDEX = 1
+XIAOMI_KEY_INDEX = 2
+FIRST_DEVELOPER_INDEX = 3
+
+PLATFORM_SIGNED_IN_STORES = {
+    "samsung": 61,
+    "huawei": 125,
+    "xiaomi": 30,
+}
+
+PLATFORM_APP_CATEGORIES = ("MDM", "remote-support", "VPN", "backup")
+
+TOTAL_STORE_APPS = 1_200_000
+GOOGLE_PLAY_APPS = 400_000
+STORE_COUNT = 33
+
+TEAMVIEWER_PACKAGE = "com.teamviewer.quicksupport.market"
+
+
+@dataclass(frozen=True)
+class PlatformSignedEntry:
+    """Metadata for one platform-signed app found in a store."""
+
+    package: str
+    store: str
+    vendor: str
+    category: str
+
+
+@dataclass
+class AppstoreCatalog:
+    """One store's signature table."""
+
+    name: str
+    signers: np.ndarray                      # uint32 signer indexes
+    platform_entries: List[PlatformSignedEntry] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of apps in the catalogue."""
+        return int(self.signers.shape[0])
+
+    def count_signed_by(self, key_index: int) -> int:
+        """Apps signed with the given signer index."""
+        return int(np.count_nonzero(self.signers == key_index))
+
+
+def generate_appstore_catalogs(seed: int = 2016) -> List[AppstoreCatalog]:
+    """Generate the 33-store, 1.2M-app signature corpus."""
+    rng = DeterministicRandom(seed).fork("appstores")
+    store_names = ["google-play"] + [f"store{index:02d}" for index in range(STORE_COUNT - 1)]
+    sizes = _store_sizes()
+    vendor_quota = {
+        "samsung": PLATFORM_SIGNED_IN_STORES["samsung"],
+        "huawei": PLATFORM_SIGNED_IN_STORES["huawei"],
+        "xiaomi": PLATFORM_SIGNED_IN_STORES["xiaomi"],
+    }
+    key_index = {
+        "samsung": SAMSUNG_KEY_INDEX,
+        "huawei": HUAWEI_KEY_INDEX,
+        "xiaomi": XIAOMI_KEY_INDEX,
+    }
+    catalogs: List[AppstoreCatalog] = []
+    placements = _platform_placements(vendor_quota, store_names, rng)
+    for store_index, name in enumerate(store_names):
+        size = sizes[store_index]
+        # Developer keys: deterministic pseudo-random indexes >= 3.
+        base = np.arange(size, dtype=np.uint32)
+        signers = (base * 2654435761 + store_index * 97) % 500_000 + FIRST_DEVELOPER_INDEX
+        signers = signers.astype(np.uint32)
+        catalog = AppstoreCatalog(name=name, signers=signers)
+        for slot, (vendor, package, category) in enumerate(placements.get(name, [])):
+            position = (slot * 9973 + 17) % size
+            catalog.signers[position] = key_index[vendor]
+            catalog.platform_entries.append(
+                PlatformSignedEntry(package=package, store=name, vendor=vendor,
+                                    category=category)
+            )
+        catalogs.append(catalog)
+    return catalogs
+
+
+def _store_sizes() -> List[int]:
+    remaining = TOTAL_STORE_APPS - GOOGLE_PLAY_APPS
+    others = STORE_COUNT - 1
+    base = remaining // others
+    sizes = [GOOGLE_PLAY_APPS] + [base] * others
+    sizes[-1] += remaining - base * others
+    return sizes
+
+
+def _platform_placements(vendor_quota: Dict[str, int], store_names: List[str],
+                         rng: DeterministicRandom) -> Dict[str, List[Tuple[str, str, str]]]:
+    placements: Dict[str, List[Tuple[str, str, str]]] = {name: [] for name in store_names}
+    for vendor, quota in sorted(vendor_quota.items()):
+        for index in range(quota):
+            if vendor == "samsung" and index == 0:
+                package = TEAMVIEWER_PACKAGE
+                category = "remote-support"
+            else:
+                category = PLATFORM_APP_CATEGORIES[index % len(PLATFORM_APP_CATEGORIES)]
+                package = f"com.{vendor}.{category.lower().replace('-', '')}.app{index:03d}"
+            vendor_offset = {"samsung": 0, "huawei": 5, "xiaomi": 11}[vendor]
+            store = store_names[(index * 7 + vendor_offset) % len(store_names)]
+            placements[store].append((vendor, package, category))
+    return placements
+
+
+# ---------------------------------------------------------------------------
+# analyses
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlatformKeyStudy:
+    """Results of the platform-key usage analysis."""
+
+    keys_per_vendor: Dict[str, int]
+    avg_platform_signed_per_image: Dict[str, float]
+    distinct_platform_packages: Dict[str, int]
+    store_signed_counts: Dict[str, int]
+    store_signed_entries: List[PlatformSignedEntry]
+
+    def vulnerable_store_apps(self) -> List[PlatformSignedEntry]:
+        """Known-vulnerable platform-signed apps in stores (TeamViewer)."""
+        return [
+            entry for entry in self.store_signed_entries
+            if entry.package == TEAMVIEWER_PACKAGE
+        ]
+
+
+def analyze(fleet: Fleet,
+            catalogs: Optional[Sequence[AppstoreCatalog]] = None) -> PlatformKeyStudy:
+    """Run the full platform-key study."""
+    keys_per_vendor: Dict[str, int] = {}
+    avg_per_image: Dict[str, float] = {}
+    distinct_packages: Dict[str, int] = {}
+    for spec in ALL_SPECS:
+        images = fleet.by_vendor(spec.vendor)
+        # Every image of a vendor is provisioned with that vendor's
+        # single platform certificate.
+        certificates: Set[str] = {
+            platform_key(image.vendor).certificate.fingerprint for image in images
+        }
+        keys_per_vendor[spec.vendor] = len(certificates)
+        avg_per_image[spec.vendor] = (
+            sum(sum(1 for app in image.apps if app.platform_signed)
+                for image in images) / len(images)
+        )
+        distinct_packages[spec.vendor] = len(
+            fleet.distinct_platform_packages(spec.vendor)
+        )
+    store_counts = {"samsung": 0, "huawei": 0, "xiaomi": 0}
+    entries: List[PlatformSignedEntry] = []
+    key_index = {
+        "samsung": SAMSUNG_KEY_INDEX,
+        "huawei": HUAWEI_KEY_INDEX,
+        "xiaomi": XIAOMI_KEY_INDEX,
+    }
+    for catalog in catalogs or ():
+        for vendor, index in key_index.items():
+            store_counts[vendor] += catalog.count_signed_by(index)
+        entries.extend(catalog.platform_entries)
+    return PlatformKeyStudy(
+        keys_per_vendor=keys_per_vendor,
+        avg_platform_signed_per_image=avg_per_image,
+        distinct_platform_packages=distinct_packages,
+        store_signed_counts=store_counts,
+        store_signed_entries=entries,
+    )

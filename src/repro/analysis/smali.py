@@ -1,0 +1,218 @@
+"""A small smali-like IR with parsing and def-use-chain analysis.
+
+Stands in for the paper's Apktool (decompilation) + Soot/jimple
+(def-use chains) toolchain.  The classifier needs to answer, over real
+code rather than metadata flags:
+
+- does the app contain the installation API marker string
+  (``application/vnd.android.package-archive``)?
+- does it call a global-readable setter API — and do its *actual
+  arguments*, resolved through def-use chains, make the file world
+  readable (``MODE_WORLD_READABLE``, ``setReadable(true, false)``,
+  ``chmod 644`` ...)?
+- which string constants (paths, URLs) flow into file and intent
+  operations?
+
+Supported instruction forms (one per line, ``#`` comments allowed)::
+
+    .class Lcom/example/Foo;
+    .method install()V
+    const-string v1, "/sdcard/download/app.apk"
+    const/4 v2, 1
+    move v3, v2
+    invoke-virtual {v0, v1, v2}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+    iget v2, v0, Lcom/example/Foo;->mode:I
+    .end method
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import SmaliParseError
+
+_INVOKE_RE = re.compile(
+    r"^invoke-(?:virtual|static|direct|interface)\s*"
+    r"\{(?P<regs>[^}]*)\}\s*,\s*(?P<sig>\S.*)$"
+)
+_CONST_STRING_RE = re.compile(
+    r'^const-string\s+(?P<reg>[vp]\d+)\s*,\s*"(?P<value>.*)"$'
+)
+_CONST_INT_RE = re.compile(
+    r"^const(?:/\d+|/high16|-wide)?\s+(?P<reg>[vp]\d+)\s*,\s*(?P<value>-?(?:0x[0-9a-fA-F]+|\d+))$"
+)
+_MOVE_RE = re.compile(
+    r"^move(?:-object|-wide)?(?:/from16|/16)?\s+(?P<dst>[vp]\d+)\s*,\s*(?P<src>[vp]\d+)$"
+)
+_IGET_RE = re.compile(
+    r"^[is]get(?:-object|-boolean|-wide)?\s+(?P<reg>[vp]\d+)\s*,.*$"
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One parsed instruction."""
+
+    op: str                      # const-string | const-int | move | invoke | iget
+    line_no: int
+    dest: Optional[str] = None   # register written, if any
+    sources: Tuple[str, ...] = ()
+    literal: Union[str, int, None] = None
+    method_sig: str = ""         # for invokes: full Lpkg;->name(args)ret
+
+    @property
+    def invoked_name(self) -> str:
+        """Bare method name of an invoke (e.g. ``openFileOutput``)."""
+        match = re.search(r"->(\w+)\(", self.method_sig)
+        return match.group(1) if match else ""
+
+
+@dataclass
+class SmaliMethod:
+    """A parsed method body."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def invokes(self) -> Iterator[Instruction]:
+        """All invoke instructions in order."""
+        return (ins for ins in self.instructions if ins.op == "invoke")
+
+    def string_constants(self) -> List[str]:
+        """All string literals loaded anywhere in the method."""
+        return [
+            ins.literal
+            for ins in self.instructions
+            if ins.op == "const-string" and isinstance(ins.literal, str)
+        ]
+
+    def reaching_def(self, register: str,
+                     before_index: int) -> Optional[Instruction]:
+        """The def-use chain back-walk: last write to ``register``.
+
+        Walks backwards from ``before_index`` following ``move`` chains.
+        Returns the defining const/iget instruction, or None when the
+        register has no visible definition (e.g. a parameter).
+        """
+        target = register
+        for index in range(before_index - 1, -1, -1):
+            ins = self.instructions[index]
+            if ins.dest != target:
+                continue
+            if ins.op == "move":
+                target = ins.sources[0]
+                continue
+            return ins
+        return None
+
+    def resolve_argument(self, invoke: Instruction,
+                         arg_index: int) -> Union[str, int, None]:
+        """Value of an invoke's argument, if a constant reaches it.
+
+        Returns the constant (str or int), or None when the def-use
+        chain dead-ends (field load, parameter, missing def) — the
+        'cannot resolve' case that lands apps in the *unknown* bucket.
+        """
+        if arg_index >= len(invoke.sources):
+            return None
+        position = self._position_of(invoke)
+        definition = self.reaching_def(invoke.sources[arg_index], position)
+        if definition is None or definition.op == "iget":
+            return None
+        return definition.literal
+
+    def _position_of(self, target: Instruction) -> int:
+        for index, ins in enumerate(self.instructions):
+            if ins is target:
+                return index
+        raise SmaliParseError("instruction not in method")
+
+
+@dataclass
+class SmaliClass:
+    """A parsed class: name plus methods."""
+
+    name: str
+    methods: List[SmaliMethod] = field(default_factory=list)
+
+
+@dataclass
+class SmaliProgram:
+    """A whole app's decompiled code."""
+
+    classes: List[SmaliClass] = field(default_factory=list)
+
+    def all_methods(self) -> Iterator[SmaliMethod]:
+        """Every method of every class."""
+        for cls in self.classes:
+            yield from cls.methods
+
+    def all_strings(self) -> Iterator[str]:
+        """Every string constant in the program."""
+        for method in self.all_methods():
+            yield from method.string_constants()
+
+    def contains_string(self, needle: str) -> bool:
+        """True if any string constant contains ``needle``."""
+        return any(needle in value for value in self.all_strings())
+
+
+def parse_program(text: str) -> SmaliProgram:
+    """Parse smali-like text into a :class:`SmaliProgram`.
+
+    Raises :class:`~repro.errors.SmaliParseError` on malformed input.
+    """
+    program = SmaliProgram()
+    current_class: Optional[SmaliClass] = None
+    current_method: Optional[SmaliMethod] = None
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".class"):
+            current_class = SmaliClass(name=line.split(None, 1)[1])
+            program.classes.append(current_class)
+            current_method = None
+            continue
+        if line.startswith(".method"):
+            if current_class is None:
+                raise SmaliParseError(f"line {line_no}: method outside class")
+            current_method = SmaliMethod(name=line.split(None, 1)[1])
+            current_class.methods.append(current_method)
+            continue
+        if line.startswith(".end method"):
+            current_method = None
+            continue
+        if current_method is None:
+            raise SmaliParseError(f"line {line_no}: instruction outside method")
+        current_method.instructions.append(_parse_instruction(line, line_no))
+    return program
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    match = _CONST_STRING_RE.match(line)
+    if match:
+        return Instruction(op="const-string", line_no=line_no,
+                           dest=match.group("reg"), literal=match.group("value"))
+    match = _CONST_INT_RE.match(line)
+    if match:
+        return Instruction(op="const-int", line_no=line_no,
+                           dest=match.group("reg"),
+                           literal=int(match.group("value"), 0))
+    match = _MOVE_RE.match(line)
+    if match:
+        return Instruction(op="move", line_no=line_no, dest=match.group("dst"),
+                           sources=(match.group("src"),))
+    match = _INVOKE_RE.match(line)
+    if match:
+        registers = tuple(
+            reg.strip() for reg in match.group("regs").split(",") if reg.strip()
+        )
+        return Instruction(op="invoke", line_no=line_no, sources=registers,
+                           method_sig=match.group("sig").strip())
+    match = _IGET_RE.match(line)
+    if match:
+        return Instruction(op="iget", line_no=line_no, dest=match.group("reg"))
+    raise SmaliParseError(f"line {line_no}: cannot parse {line!r}")

@@ -1,0 +1,31 @@
+"""Simulated Android platform substrate.
+
+This package re-implements, as a discrete-event simulation, every
+Android building block the paper's App Installation Transaction (AIT)
+touches:
+
+- an in-memory virtual filesystem with POSIX-ish DAC, symlinks and
+  inotify-style events (:mod:`repro.android.filesystem`),
+- internal/external storage volumes with space accounting
+  (:mod:`repro.android.storage`),
+- the FUSE daemon wrapping /sdcard (:mod:`repro.android.fuse`),
+- ``FileObserver`` (:mod:`repro.android.fileobserver`),
+- the permission model with protection levels and the STORAGE
+  same-group auto-grant (:mod:`repro.android.permissions`),
+- APKs, manifests, signing and repackaging (:mod:`repro.android.apk`,
+  :mod:`repro.android.signing`),
+- the PackageManagerService and PackageInstallerActivity
+  (:mod:`repro.android.pms`, :mod:`repro.android.pia`),
+- the AOSP Download Manager (:mod:`repro.android.download_manager`),
+- Intents, the ActivityManagerService and the IntentFirewall
+  (:mod:`repro.android.intents`, :mod:`repro.android.ams`,
+  :mod:`repro.android.intent_firewall`),
+- the /proc side channel (:mod:`repro.android.proc`), and
+- device profiles plus the :class:`~repro.android.system.AndroidSystem`
+  facade that wires a whole device together.
+"""
+
+from repro.android.system import AndroidSystem
+from repro.android.device import DeviceProfile
+
+__all__ = ["AndroidSystem", "DeviceProfile"]

@@ -1,0 +1,263 @@
+"""ActivityManagerService (AMS): activity starts, foreground, broadcasts.
+
+The Step-1 weakness lives here (Section III-D): ``start_activity``
+delivers a background app's Intent to a foreground app's activity,
+replacing what the activity displays, *without telling the recipient who
+sent the Intent* — and the foreground handoff is observable through
+``/proc/<pid>/oom_adj``.
+
+Every activity Intent passes through the
+:class:`~repro.android.intent_firewall.IntentFirewall`, the hook point
+for the paper's detection and origin defenses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ActivityNotFound, SecurityException
+from repro.android.filesystem import Caller
+from repro.android.intents import Intent
+from repro.android.intent_firewall import IntentFirewall, IntentRecord
+from repro.android.proc import ProcFs
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+# Simulated end-to-end latency of an activity-start Intent; calibrated
+# to the paper's Table IX total (~4.8 ms on a Nexus 5).
+INTENT_DELIVERY_LATENCY_NS = 4_800_000
+
+IntentHandler = Callable[[Intent], None]
+BroadcastHandler = Callable[["BroadcastEnvelope"], None]
+
+
+@dataclass(frozen=True)
+class BroadcastEnvelope:
+    """An app-to-app broadcast as delivered to a receiver.
+
+    Note ``sender_package`` is carried for *bookkeeping and defenses
+    only*; vulnerable receivers in :mod:`repro.installers` deliberately
+    never look at it, mirroring real receivers' inability to
+    authenticate broadcast senders.
+    """
+
+    action: str
+    extras: Dict[str, Any]
+    sender_package: str
+    time_ns: int
+
+
+@dataclass
+class ReceiverRegistration:
+    """A registered broadcast receiver."""
+
+    package: str
+    action: str
+    handler: BroadcastHandler
+    required_permission: Optional[str] = None
+    exported: bool = True
+
+
+@dataclass
+class ActivityFrame:
+    """One entry of the activity back stack."""
+
+    package: str
+    activity: str
+    intent: Intent
+
+
+@dataclass
+class RegisteredApp:
+    """Runtime registration of an app with the AMS."""
+
+    package: str
+    pid: int
+    intent_handler: Optional[IntentHandler] = None
+    app: Optional[object] = None  # the App behaviour object, if any
+
+
+class ActivityManagerService:
+    """The device's activity manager."""
+
+    def __init__(self, kernel: Kernel, hub: EventHub, firewall: IntentFirewall,
+                 procfs: ProcFs) -> None:
+        self._kernel = kernel
+        self._hub = hub
+        self.firewall = firewall
+        self._procfs = procfs
+        self._apps: Dict[str, RegisteredApp] = {}
+        self._receivers: List[ReceiverRegistration] = []
+        self.stack: List[ActivityFrame] = []
+        self.delivered: List[IntentRecord] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register_app(self, package: str,
+                     intent_handler: Optional[IntentHandler] = None,
+                     app: Optional[object] = None) -> RegisteredApp:
+        """Register ``package``'s process and (optionally) activity handler."""
+        pid = self._procfs.register(package)
+        registration = RegisteredApp(package=package, pid=pid,
+                                     intent_handler=intent_handler, app=app)
+        self._apps[package] = registration
+        return registration
+
+    def kill_background_processes(self, caller: Caller, package: str) -> bool:
+        """``ActivityManager.killBackgroundProcesses``.
+
+        Requires ``KILL_BACKGROUND_PROCESSES``.  A process running a
+        foreground service (``startForeground``) survives — the exact
+        mechanism DAPP uses to resist malicious termination
+        (Section V-B).  Returns True if the process was killed.
+        """
+        if not caller.is_system and not caller.has_permission(
+            "android.permission.KILL_BACKGROUND_PROCESSES"
+        ):
+            raise SecurityException(
+                f"{caller.package} lacks KILL_BACKGROUND_PROCESSES"
+            )
+        registration = self._apps.get(package)
+        if registration is None:
+            return False
+        if self._procfs.foreground_package == package:
+            return False  # foreground activities are not killable this way
+        app = registration.app
+        if app is not None and getattr(app, "foreground_service", False):
+            return False
+        if app is not None:
+            on_killed = getattr(app, "on_background_killed", None)
+            if on_killed is not None:
+                on_killed()
+        return True
+
+    def register_receiver(self, package: str, action: str, handler: BroadcastHandler,
+                          required_permission: Optional[str] = None,
+                          exported: bool = True) -> ReceiverRegistration:
+        """Register a broadcast receiver for ``action``."""
+        registration = ReceiverRegistration(
+            package=package,
+            action=action,
+            handler=handler,
+            required_permission=required_permission,
+            exported=exported,
+        )
+        self._receivers.append(registration)
+        return registration
+
+    # -- activities -----------------------------------------------------------
+
+    def start_activity(self, caller: Caller, intent: Intent) -> bool:
+        """Deliver ``intent`` to its target activity after IPC latency.
+
+        Returns True if the firewall allowed delivery (the stock
+        firewall always does).  Raises :class:`ActivityNotFound` when the
+        target package has no registered process.
+        """
+        target = self._apps.get(intent.target_package)
+        if target is None:
+            raise ActivityNotFound(
+                f"no activity for intent to {intent.target_package!r}"
+            )
+        record = IntentRecord(
+            intent=intent,
+            sender_package=caller.package,
+            sender_uid=caller.uid,
+            sender_is_system=caller.is_system,
+            recipient_package=intent.target_package,
+            delivery_time_ns=self._kernel.clock.now_ns,
+        )
+        if not self.firewall.check_intent(record):
+            return False
+        self._kernel.call_later(
+            INTENT_DELIVERY_LATENCY_NS, lambda: self._deliver(record)
+        )
+        return True
+
+    def _deliver(self, record: IntentRecord) -> None:
+        intent = record.intent
+        target = self._apps.get(intent.target_package)
+        if target is None:
+            return  # process died between check and delivery
+        top = self.stack[-1] if self.stack else None
+        if (
+            intent.single_top
+            and top is not None
+            and top.package == intent.target_package
+            and top.activity == intent.target_activity
+        ):
+            # onNewIntent: the existing activity instance is reused —
+            # the mode the Amazon command-injection attack relies on.
+            top.intent = intent
+        else:
+            self.stack.append(
+                ActivityFrame(
+                    package=intent.target_package,
+                    activity=intent.target_activity,
+                    intent=intent,
+                )
+            )
+        self._procfs.set_foreground(intent.target_package)
+        self.delivered.append(record)
+        if target.intent_handler is not None:
+            target.intent_handler(intent)
+
+    @property
+    def foreground_package(self) -> Optional[str]:
+        """Package owning the foreground activity."""
+        return self._procfs.foreground_package
+
+    def top_frame(self) -> Optional[ActivityFrame]:
+        """The activity currently on top of the back stack."""
+        return self.stack[-1] if self.stack else None
+
+    def bring_to_foreground(self, package: str, activity: str = "Main") -> None:
+        """User taps the app's launcher icon (no Intent firewall involved)."""
+        self.stack.append(ActivityFrame(package, activity, Intent(target_package=package)))
+        self._procfs.set_foreground(package)
+
+    # -- broadcasts -----------------------------------------------------------
+
+    def send_broadcast(self, caller: Caller, action: str,
+                       extras: Optional[Dict[str, Any]] = None) -> int:
+        """Broadcast ``action`` to matching receivers.
+
+        Receivers protected by a ``required_permission`` only fire when
+        the *sender* holds that permission — the guard the Xiaomi
+        appstore was missing.  Returns the number of receivers the
+        broadcast was scheduled for.
+        """
+        envelope = BroadcastEnvelope(
+            action=action,
+            extras=dict(extras or {}),
+            sender_package=caller.package,
+            time_ns=self._kernel.clock.now_ns,
+        )
+        delivered = 0
+        for registration in list(self._receivers):
+            if registration.action != action:
+                continue
+            if not registration.exported and registration.package != caller.package:
+                continue
+            if (
+                registration.required_permission is not None
+                and not caller.has_permission(registration.required_permission)
+            ):
+                continue
+            handler = registration.handler
+            self._kernel.call_later(
+                INTENT_DELIVERY_LATENCY_NS, _broadcast_thunk(handler, envelope)
+            )
+            delivered += 1
+        return delivered
+
+
+def _broadcast_thunk(handler: BroadcastHandler,
+                     envelope: BroadcastEnvelope) -> Callable[[], None]:
+    """Bind loop variables for deferred broadcast delivery."""
+
+    def run() -> None:
+        handler(envelope)
+
+    return run

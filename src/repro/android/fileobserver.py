@@ -1,0 +1,72 @@
+"""``android.os.FileObserver`` over the simulated VFS.
+
+Any app — system or not, and crucially *without any special
+permission beyond SD-Card access* — can watch a directory for
+inotify-style events.  The paper's attacker counts ``CLOSE_NOWRITE``
+events to find the end of an installer's integrity check
+(Section III-B), and the DAPP defense watches the same stream for
+suspicious writes (Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.android.filesystem import FileEvent, FileEventType, normalize
+from repro.sim.events import EventHub, Subscription
+
+ALL_EVENTS: Set[FileEventType] = set(FileEventType)
+
+
+class FileObserver:
+    """Watches one directory (non-recursive, like the Android class)."""
+
+    def __init__(self, hub: EventHub, directory: str,
+                 mask: Optional[Iterable[FileEventType]] = None) -> None:
+        self._hub = hub
+        self.directory = normalize(directory)
+        self.mask: Set[FileEventType] = set(mask) if mask is not None else set(ALL_EVENTS)
+        self._subscription: Optional[Subscription] = None
+        self._listeners: List[Callable[[FileEvent], None]] = []
+        self.history: List[FileEvent] = []
+
+    def on_event(self, listener: Callable[[FileEvent], None]) -> None:
+        """Register ``listener`` for every matching event while watching."""
+        self._listeners.append(listener)
+
+    def start_watching(self) -> None:
+        """Begin receiving events. Idempotent."""
+        if self._subscription is None:
+            self._subscription = self._hub.subscribe(
+                f"fs:{self.directory}", self._dispatch
+            )
+
+    def stop_watching(self) -> None:
+        """Stop receiving events. Idempotent."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    @property
+    def watching(self) -> bool:
+        """True while the observer is registered."""
+        return self._subscription is not None
+
+    def count(self, event_type: FileEventType, name: Optional[str] = None) -> int:
+        """How many events of ``event_type`` (optionally for ``name``) were seen."""
+        return sum(
+            1
+            for event in self.history
+            if event.event_type is event_type and (name is None or event.name == name)
+        )
+
+    def _dispatch(self, event: FileEvent) -> None:
+        if event.event_type not in self.mask:
+            return
+        self.history.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+
+    def __repr__(self) -> str:
+        state = "watching" if self.watching else "stopped"
+        return f"FileObserver({self.directory!r}, {state}, seen={len(self.history)})"

@@ -1,0 +1,97 @@
+"""The FUSE daemon wrapping external storage (/sdcard).
+
+On real Android the raw SD-Card device is wrapped by a userspace FUSE
+daemon (``sdcard``) that synthesizes permissions.  The stock behaviour —
+faithfully reproduced here — is that *file modes are ignored*: any app
+holding ``WRITE_EXTERNAL_STORAGE`` may create, overwrite, move or delete
+any file on the card, which is the root cause of the paper's
+installation-hijacking attack (Section III-B).
+
+The three methods the paper's system-level defense patches
+(``derive_permissions_locked``, ``check_caller_access_to_name`` and
+``handle_rename``, Section V-C) are explicit hook points here, so the
+defense in :mod:`repro.defenses.fuse_dac` is a subclass overriding them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AccessDenied
+from repro.android.filesystem import (
+    AccessPolicy,
+    Caller,
+    Filesystem,
+    Inode,
+)
+
+READ_EXTERNAL_STORAGE = "android.permission.READ_EXTERNAL_STORAGE"
+WRITE_EXTERNAL_STORAGE = "android.permission.WRITE_EXTERNAL_STORAGE"
+
+
+class FuseDaemon(AccessPolicy):
+    """Stock external-storage policy: permission-gated, DAC-blind."""
+
+    def on_create(self, fs: Filesystem, caller: Caller, path: str, inode: Inode) -> None:
+        """Synthesize permissions for a newly created node.
+
+        Stock behaviour (``derive_permissions_locked``): every file is
+        world-readable/writable as far as the daemon is concerned; the
+        mode recorded on the inode is cosmetic.
+        """
+        inode.mode = 0o664
+
+    def check_read(self, fs: Filesystem, caller: Caller, path: str,
+                   inode: Optional[Inode]) -> None:
+        if caller.is_system:
+            return
+        if not (caller.has_permission(READ_EXTERNAL_STORAGE)
+                or caller.has_permission(WRITE_EXTERNAL_STORAGE)):
+            raise AccessDenied(path, "READ_EXTERNAL_STORAGE required")
+
+    def check_write(self, fs: Filesystem, caller: Caller, path: str,
+                    inode: Optional[Inode]) -> None:
+        if caller.is_system:
+            return
+        self._require_write_permission(caller, path)
+        self.check_caller_access_to_name(fs, caller, path, inode)
+
+    def check_create(self, fs: Filesystem, caller: Caller, path: str) -> None:
+        if caller.is_system:
+            return
+        self._require_write_permission(caller, path)
+        self.check_caller_access_to_name(fs, caller, path, None)
+
+    def check_delete(self, fs: Filesystem, caller: Caller, path: str,
+                     inode: Optional[Inode]) -> None:
+        if caller.is_system:
+            return
+        self._require_write_permission(caller, path)
+        self.check_caller_access_to_name(fs, caller, path, inode)
+
+    def check_rename(self, fs: Filesystem, caller: Caller, src: str, dst: str) -> None:
+        if caller.is_system:
+            return
+        self._require_write_permission(caller, src)
+        self.handle_rename(fs, caller, src, dst)
+
+    # -- hook points patched by the defense ----------------------------------
+
+    def check_caller_access_to_name(self, fs: Filesystem, caller: Caller,
+                                    path: str, inode: Optional[Inode]) -> None:
+        """Per-file access decision.
+
+        Stock FUSE grants access to *any* permission holder regardless
+        of the DAC bits on the inode — the paper had to patch exactly
+        this method because setting a file's mode to 640 alone changed
+        nothing.
+        """
+
+    def handle_rename(self, fs: Filesystem, caller: Caller, src: str, dst: str) -> None:
+        """Path-alteration decision (move/rename). Stock: always allowed."""
+
+    # -- helpers --------------------------------------------------------------
+
+    def _require_write_permission(self, caller: Caller, path: str) -> None:
+        if not caller.has_permission(WRITE_EXTERNAL_STORAGE):
+            raise AccessDenied(path, "WRITE_EXTERNAL_STORAGE required")

@@ -1,0 +1,76 @@
+"""The system log (logcat) — the prior-work attack channel.
+
+PaloAltoNetworks' earlier installation attack (the paper's Related
+Work, [14]) watched **logcat** for the consent dialog being displayed
+and replaced the APK while the user was looking at it.  That channel
+died with Android 4.1, which restricted ``READ_LOGS`` to system apps —
+one of the reasons the paper's FileObserver/wait-and-see attacks are a
+strictly stronger threat.
+
+This module models exactly that: a log stream apps can subscribe to
+*only* when the build still allows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.errors import SecurityException
+from repro.android.filesystem import Caller
+from repro.sim.events import EventHub, Subscription
+
+READ_LOGS = "android.permission.READ_LOGS"
+
+# Android 4.1 (Jelly Bean) removed third-party access to READ_LOGS.
+_LAST_OPEN_VERSION = (4, 0)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logcat line."""
+
+    tag: str
+    message: str
+    time_ns: int
+
+
+class Logcat:
+    """The device log buffer with version-gated read access."""
+
+    def __init__(self, hub: EventHub, clock, android_version: str) -> None:
+        self._hub = hub
+        self._clock = clock
+        self._version = _parse_version(android_version)
+        self.entries: List[LogEntry] = []
+
+    def log(self, tag: str, message: str) -> None:
+        """System components write freely."""
+        entry = LogEntry(tag=tag, message=message, time_ns=self._clock.now_ns)
+        self.entries.append(entry)
+        self._hub.publish("logcat", entry)
+
+    def readable_by_apps(self) -> bool:
+        """True on builds where third-party READ_LOGS still works."""
+        return self._version <= _LAST_OPEN_VERSION
+
+    def subscribe(self, caller: Caller,
+                  handler: Callable[[LogEntry], None]) -> Subscription:
+        """Attach a reader; enforces the READ_LOGS + version gate."""
+        if caller.is_system:
+            return self._hub.subscribe("logcat", handler)
+        if not caller.has_permission(READ_LOGS):
+            raise SecurityException(
+                f"{caller.package} lacks {READ_LOGS}"
+            )
+        if not self.readable_by_apps():
+            raise SecurityException(
+                "READ_LOGS is restricted to system apps on this build "
+                "(Android >= 4.1)"
+            )
+        return self._hub.subscribe("logcat", handler)
+
+
+def _parse_version(version: str) -> Tuple[int, int]:
+    parts = version.split(".")
+    return (int(parts[0]), int(parts[1]) if len(parts) > 1 else 0)

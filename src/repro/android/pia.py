@@ -1,0 +1,98 @@
+"""PackageInstallerActivity (PIA): the consent-dialog install path.
+
+Non-privileged installers (side-loaded appstores, ordinary apps) cannot
+call the PMS directly; they route through the PIA, which shows the user
+a consent dialog with the package's name and icon.
+
+To stop the APK changing while the dialog is up, the PIA records a
+checksum of the APK's **manifest** before showing the dialog and
+verifies it again just before install (Section III-B, "Attack on PIA").
+Both weaknesses the paper demonstrates are reproduced:
+
+- the checksum covers only the manifest, so a repackaged APK with the
+  original manifest (and, embedded, the original label and icon)
+  replaces the file undetected, and
+- the label/icon the user approves come from the file contents, which
+  the attacker controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List
+
+from repro.errors import InstallAbortedError, InstallVerificationError
+from repro.android.filesystem import Caller
+from repro.android.packages import InstalledPackage
+from repro.android.pms import PackageManagerService
+from repro.sim.clock import millis
+from repro.sim.kernel import Sleep
+
+
+@dataclass(frozen=True)
+class ConsentPrompt:
+    """What the consent dialog showed the user."""
+
+    package: str
+    label: str
+    icon: str
+    requested_permissions: tuple
+    installer: str
+
+
+@dataclass
+class ConsentUser:
+    """A model of the human deciding on the consent dialog.
+
+    ``decide`` sees exactly what the dialog displays.  The default user
+    approves anything whose label/icon they recognize — i.e. everything,
+    since the attacker embeds the original app's label and icon.
+    """
+
+    think_time_ns: int = millis(1500)
+    decide: Callable[[ConsentPrompt], bool] = lambda prompt: True
+    prompts_seen: List[ConsentPrompt] = field(default_factory=list)
+
+
+class PackageInstallerActivity:
+    """The system activity that mediates consented installs."""
+
+    def __init__(self, pms: PackageManagerService, logcat=None) -> None:
+        self._pms = pms
+        self._logcat = logcat
+        self.prompts: List[ConsentPrompt] = []
+
+    def install(self, apk_path: str, caller: Caller,
+                user: ConsentUser) -> Generator[Sleep, None, InstalledPackage]:
+        """Run the consent flow as a simulation process.
+
+        Yields while the user reads the dialog — the window the paper's
+        Step-4 attack fills.  Returns the installed package or raises
+        :class:`InstallAbortedError` / :class:`InstallVerificationError`.
+        """
+        staged = self._pms.parse_apk_file(apk_path)
+        recorded_checksum = staged.manifest.checksum()
+        prompt = ConsentPrompt(
+            package=staged.package,
+            label=staged.manifest.label,
+            icon=staged.manifest.icon,
+            requested_permissions=tuple(staged.manifest.uses_permissions),
+            installer=caller.package,
+        )
+        self.prompts.append(prompt)
+        user.prompts_seen.append(prompt)
+        if self._logcat is not None:
+            # The chatty log line the pre-4.1 logcat attack fed on.
+            self._logcat.log(
+                "PackageInstaller",
+                f"showing consent for {prompt.package} from {apk_path}",
+            )
+        yield Sleep(user.think_time_ns)
+        if not user.decide(prompt):
+            raise InstallAbortedError(f"user declined install of {prompt.package}")
+        final = self._pms.parse_apk_file(apk_path)
+        if final.manifest.checksum() != recorded_checksum:
+            raise InstallVerificationError(
+                f"manifest changed while consent dialog was shown for {prompt.package}"
+            )
+        return self._pms.install_parsed(final, installer_package=caller.package)

@@ -1,0 +1,62 @@
+"""The /proc side channel.
+
+``/proc/<pid>/oom_adj`` is world-readable on the Android versions the
+paper studies; its value is 0 while the process owns the foreground.
+The redirect-Intent attacker polls it to learn the instant a victim app
+(e.g. Facebook) hands the foreground to the appstore (Section III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import AndroidError
+
+OOM_ADJ_FOREGROUND = 0
+OOM_ADJ_VISIBLE = 1
+OOM_ADJ_BACKGROUND = 6
+
+
+class ProcFs:
+    """World-readable per-process state, as an attacker sees it."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._foreground: Optional[str] = None
+        self._next_pid = 2000
+
+    def register(self, package: str) -> int:
+        """Assign a PID to ``package``'s process; idempotent."""
+        if package not in self._pids:
+            self._pids[package] = self._next_pid
+            self._next_pid += 1
+        return self._pids[package]
+
+    def pid_of(self, package: str) -> int:
+        """PID for ``package`` (attackers learn this from /proc scans)."""
+        pid = self._pids.get(package)
+        if pid is None:
+            raise AndroidError(f"no process for package {package}")
+        return pid
+
+    def set_foreground(self, package: Optional[str]) -> None:
+        """Called by the AMS when the foreground activity changes."""
+        self._foreground = package
+
+    @property
+    def foreground_package(self) -> Optional[str]:
+        """The package currently in the foreground (AMS-internal view)."""
+        return self._foreground
+
+    def oom_adj(self, pid: int) -> int:
+        """Read /proc/<pid>/oom_adj — no permission required."""
+        for package, known_pid in self._pids.items():
+            if known_pid == pid:
+                if package == self._foreground:
+                    return OOM_ADJ_FOREGROUND
+                return OOM_ADJ_BACKGROUND
+        raise AndroidError(f"no such pid {pid}")
+
+    def oom_adj_of(self, package: str) -> int:
+        """Convenience: oom_adj via package name."""
+        return self.oom_adj(self.pid_of(package))

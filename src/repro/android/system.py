@@ -1,0 +1,158 @@
+"""AndroidSystem: one fully wired simulated device.
+
+The facade constructs and connects every substrate component for a given
+:class:`~repro.android.device.DeviceProfile`: kernel + clock, VFS with
+internal (app-sandbox DAC) and external (FUSE daemon) mounts, permission
+registry, PMS, PIA, Download Manager, AMS with IntentFirewall, /proc and
+the network.  Scenario code then installs apps, attaches behaviours and
+runs the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.android.ams import ActivityManagerService
+from repro.android.apk import Apk
+from repro.android.app import App
+from repro.android.device import DeviceProfile, nexus5
+from repro.android.download_manager import DownloadManager
+from repro.android.filesystem import Caller, Filesystem, SYSTEM_UID
+from repro.android.fuse import FuseDaemon
+from repro.android.intent_firewall import IntentFirewall
+from repro.android.logcat import Logcat
+from repro.android.network import Network
+from repro.android.packages import InstalledPackage, PackageDatabase
+from repro.android.permissions import PermissionRegistry
+from repro.android.pia import PackageInstallerActivity
+from repro.android.pms import PackageManagerService
+from repro.android.proc import ProcFs
+from repro.android.providers import ContentResolver
+from repro.android.signing import SigningKey, platform_key
+from repro.android.storage import (
+    InternalStoragePolicy,
+    StorageLayout,
+    StorageVolume,
+)
+from repro.sim import DeterministicRandom, EventHub, Kernel
+
+
+class AndroidSystem:
+    """A booted simulated Android device."""
+
+    def __init__(self, profile: Optional[DeviceProfile] = None, seed: int = 7) -> None:
+        self.profile = profile or nexus5()
+        self.kernel = Kernel()
+        self.hub = EventHub(self.kernel)
+        self.rng = DeterministicRandom(seed)
+        self.layout = StorageLayout()
+        self.fs = Filesystem(self.hub, self.kernel.clock)
+        self.internal_volume = StorageVolume(
+            "internal",
+            self.profile.internal_capacity_bytes,
+            used_bytes=self.profile.internal_used_bytes,
+        )
+        self.external_volume = StorageVolume(
+            "external", self.profile.external_capacity_bytes
+        )
+        self.fs.mount(
+            self.layout.internal_root,
+            self.internal_volume,
+            InternalStoragePolicy(self.layout),
+        )
+        self.fuse_daemon = FuseDaemon()
+        self.fs.mount(self.layout.external_root, self.external_volume, self.fuse_daemon)
+        self._system_caller = Caller(uid=SYSTEM_UID, package="android", is_system=True)
+        self.fs.makedirs(self.layout.app_data_root, self._system_caller)
+        self.fs.makedirs(self.layout.app_install_root, self._system_caller)
+
+        self.platform_key: SigningKey = platform_key(self.profile.vendor)
+        self.permission_registry = PermissionRegistry()
+        self.package_db = PackageDatabase(self.permission_registry)
+        self.pms = PackageManagerService(
+            fs=self.fs,
+            hub=self.hub,
+            database=self.package_db,
+            registry=self.permission_registry,
+            layout=self.layout,
+            internal_volume=self.internal_volume,
+            platform_certificate=self.platform_key.certificate,
+        )
+        self.logcat = Logcat(self.hub, self.kernel.clock,
+                             self.profile.android_version)
+        self.pia = PackageInstallerActivity(self.pms, logcat=self.logcat)
+        self.network = Network()
+        self.dm = DownloadManager(
+            kernel=self.kernel,
+            fs=self.fs,
+            hub=self.hub,
+            network=self.network,
+            layout=self.layout,
+            symlink_mode=self.profile.dm_symlink_mode,
+        )
+        self.content_resolver = ContentResolver(self.pms)
+        # Providers die with their owning package.
+        self.hub.subscribe(
+            "broadcast:android.intent.action.PACKAGE_REMOVED",
+            lambda broadcast: self.content_resolver.unregister_by(
+                broadcast.package
+            ),
+        )
+        self.procfs = ProcFs()
+        self.firewall = IntentFirewall()
+        self.ams = ActivityManagerService(
+            self.kernel, self.hub, self.firewall, self.procfs
+        )
+
+    # -- time and execution -----------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time."""
+        return self.kernel.clock.now_ns
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Drain the event queue (optionally only up to ``until_ns``)."""
+        return self.kernel.run(until_ns=until_ns)
+
+    def run_process(self, gen: Generator, name: str = "") -> object:
+        """Spawn a process, run to completion, return its result."""
+        return self.kernel.run_process(gen, name=name)
+
+    # -- provisioning -------------------------------------------------------------
+
+    def install_system_app(self, apk: Apk) -> InstalledPackage:
+        """Install ``apk`` as part of the system image (pre-install)."""
+        return self.pms.install_parsed(apk, installer_package="system-image",
+                                       as_system_app=True)
+
+    def install_user_app(self, apk: Apk, installer: str = "sideload") -> InstalledPackage:
+        """Install ``apk`` directly (bypassing any AIT — provisioning only)."""
+        return self.pms.install_parsed(apk, installer_package=installer)
+
+    def attach(self, app: App) -> App:
+        """Attach an :class:`App` behaviour to its installed package."""
+        self.pms.require_package(app.package)  # fail fast if not installed
+        app.attach(self)
+        return app
+
+    def caller_for(self, package: str) -> Caller:
+        """Security principal of an installed package (fresh snapshot)."""
+        installed = self.pms.require_package(package)
+        return Caller(
+            uid=installed.uid,
+            package=package,
+            permissions=frozenset(installed.permissions.granted),
+        )
+
+    @property
+    def system_caller(self) -> Caller:
+        """The privileged system principal (DM, PMS internals, settings UI)."""
+        return self._system_caller
+
+    def __repr__(self) -> str:
+        return (
+            f"AndroidSystem({self.profile.vendor}/{self.profile.model}, "
+            f"android={self.profile.android_version}, "
+            f"packages={len(self.package_db)})"
+        )

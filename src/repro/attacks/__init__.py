@@ -1,0 +1,51 @@
+"""Ghost Installer Attacks (GIA) — Section III of the paper.
+
+One module per attack family, each tagged with the AIT step it breaks:
+
+- :mod:`repro.attacks.toctou` — FileObserver-driven installation
+  hijacking (Step 3),
+- :mod:`repro.attacks.wait_and_see` — the timing-only variant that
+  needs no FileObserver (Step 3),
+- :mod:`repro.attacks.dm_symlink` — the Download Manager symlink
+  TOCTOU (Step 2),
+- :mod:`repro.attacks.redirect_intent` — UI redirection through the
+  ``oom_adj`` side channel (Step 1),
+- :mod:`repro.attacks.command_injection` — Amazon JS-bridge and Xiaomi
+  push-receiver abuse (Step 1),
+- :mod:`repro.attacks.privilege_escalation` /
+  :mod:`repro.attacks.hare` — what silent installs buy the attacker
+  (vulnerable platform-signed apps, Hare permissions).
+"""
+
+from repro.attacks.base import ATTACKER_PACKAGE, MaliciousApp, StoreFingerprint
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.attacks.dm_symlink import DMSymlinkAttacker
+from repro.attacks.redirect_intent import RedirectIntentAttacker
+from repro.attacks.command_injection import (
+    AmazonJsInjectionAttacker,
+    XiaomiPushForgeryAttacker,
+)
+from repro.attacks.privilege_escalation import (
+    VulnerableSystemApp,
+    VulnerableSystemAppAttacker,
+)
+from repro.attacks.hare import HareAttacker, HareCreatingSystemApp
+from repro.attacks.logcat_baseline import LogcatConsentReplacer
+
+__all__ = [
+    "ATTACKER_PACKAGE",
+    "MaliciousApp",
+    "StoreFingerprint",
+    "FileObserverHijacker",
+    "WaitAndSeeHijacker",
+    "DMSymlinkAttacker",
+    "RedirectIntentAttacker",
+    "AmazonJsInjectionAttacker",
+    "XiaomiPushForgeryAttacker",
+    "VulnerableSystemApp",
+    "VulnerableSystemAppAttacker",
+    "HareAttacker",
+    "HareCreatingSystemApp",
+    "LogcatConsentReplacer",
+]

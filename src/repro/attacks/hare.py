@@ -1,0 +1,126 @@
+"""Hare (Hanging Attribute Reference) permission grabbing
+(Section III-B, privilege escalation — the S-Voice/Link case).
+
+A *Hare* permission is used by some app but defined by none on the
+device.  The attack:
+
+1. via a GIA, silently install a platform-signed system app (S-Voice)
+   that guards the user's contacts behind
+   ``com.vlingo.midas.contacts.permission.READ`` — a permission nothing
+   on this image defines,
+2. the malware **defines** that permission itself (first-definer-wins)
+   at protection level ``normal`` and requests it — granted with no
+   dialog,
+3. query S-Voice's contacts interface: the permission check passes,
+   the contacts leak.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.android.apk import Apk, ApkBuilder
+from repro.android.app import App
+from repro.android.signing import SigningKey
+from repro.attacks.base import MaliciousApp
+from repro.core.ait import AITStep
+from repro.core.outcomes import AttackResult
+
+SVOICE_PACKAGE = "com.vlingo.midas"
+VLINGO_READ = "com.vlingo.midas.contacts.permission.READ"
+VLINGO_WRITE = "com.vlingo.midas.contacts.permission.WRITE"
+
+DEFAULT_CONTACTS: Tuple[str, ...] = (
+    "Alice Zhang:+1-812-555-0001",
+    "Bob Iyer:+1-812-555-0002",
+    "Carol Novak:+1-812-555-0003",
+)
+
+
+def build_svoice_apk(platform_key: SigningKey) -> Apk:
+    """S-Voice: *uses* the vlingo permissions but defines neither."""
+    return (
+        ApkBuilder(SVOICE_PACKAGE)
+        .label("S Voice")
+        .uses_permission(VLINGO_READ, VLINGO_WRITE)
+        .payload(b"<s-voice assistant code>")
+        .build(platform_key)
+    )
+
+
+CONTACTS_AUTHORITY = "com.vlingo.midas.contacts"
+
+
+class HareCreatingSystemApp(App):
+    """S-Voice at runtime: a contacts provider guarded by a Hare.
+
+    On attach it registers a content provider whose read/write guards
+    are the vlingo permissions — permissions *nothing on this image
+    defines*.  The guard logic itself is sound; the ownership of the
+    permission name is the hole.
+    """
+
+    package = SVOICE_PACKAGE
+
+    def __init__(self, contacts: Tuple[str, ...] = DEFAULT_CONTACTS) -> None:
+        super().__init__()
+        self.contacts = list(contacts)
+
+    def on_attached(self) -> None:
+        self.system.content_resolver.register(
+            CONTACTS_AUTHORITY,
+            owner_package=self.package,
+            read_permission=VLINGO_READ,
+            write_permission=VLINGO_WRITE,
+            rows=self.contacts,
+        )
+
+    def query_contacts(self, requesting_package: str) -> List[str]:
+        """Query the provider on behalf of ``requesting_package``."""
+        caller = self.system.caller_for(requesting_package)
+        return self.system.content_resolver.query(caller, CONTACTS_AUTHORITY)
+
+
+class HareAttacker(MaliciousApp):
+    """Malware that defines the hanging permission and uses it."""
+
+    def __init__(self, package: Optional[str] = None) -> None:
+        super().__init__(package=package)
+        self.stolen_contacts: List[str] = []
+
+    @staticmethod
+    def build_hare_apk(package: str = "com.fun.flashlight") -> Apk:
+        """Attacker APK that defines + uses the vlingo permissions.
+
+        Defining them at level ``normal`` means they are auto-granted.
+        """
+        key = SigningKey("gia-attacker", "key0")
+        return (
+            ApkBuilder(package)
+            .label("Fun Flashlight")
+            .version(2)
+            .defines_permission(VLINGO_READ, level="normal")
+            .defines_permission(VLINGO_WRITE, level="normal")
+            .uses_permission(VLINGO_READ, VLINGO_WRITE)
+            .payload(b"<flashlight + hare grabber>")
+            .build(key)
+        )
+
+    def grab_and_steal(self, svoice: HareCreatingSystemApp) -> AttackResult:
+        """Steal contacts through the grabbed permission."""
+        from repro.errors import SecurityException
+
+        try:
+            self.stolen_contacts = svoice.query_contacts(self.package)
+            succeeded = bool(self.stolen_contacts)
+        except SecurityException:
+            succeeded = False
+        return AttackResult(
+            attack_name="hare-permission-grab",
+            ait_step=AITStep.INSTALL,
+            succeeded=succeeded,
+            detail={
+                "permission": VLINGO_READ,
+                "contacts_stolen": len(self.stolen_contacts),
+            },
+        )

@@ -1,0 +1,84 @@
+"""The prior-work baseline: the logcat consent-dialog attack.
+
+PaloAltoNetworks [14 in the paper] showed, before GIA, that an attacker
+could wait for the permission-consent dialog (announced on logcat) and
+replace the staged APK while the user stared at it.  The paper's
+Related Work points out why this baseline is much weaker than GIA:
+
+- it needs ``READ_LOGS``, which **only works before Android 4.1**,
+- it only covers the **PIA consent path** (Step 4) — silent installers
+  (DTIgnite, the major stores) never show a dialog and never hit
+  logcat,
+- GIA's FileObserver channel needs no special permission at all and
+  covers *every* SD-Card AIT.
+
+:class:`LogcatConsentReplacer` implements the baseline faithfully so
+the benchmark harness can compare coverage
+(``benchmarks/test_baseline_comparison.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import AccessDenied, FilesystemError, SecurityException
+from repro.android.apk import MalformedApk
+from repro.android.logcat import LogEntry, READ_LOGS
+from repro.attacks.base import MaliciousApp
+
+_CONSENT_RE = re.compile(r"showing consent for (\S+) from (\S+)")
+
+
+class LogcatConsentReplacer(MaliciousApp):
+    """The pre-GIA baseline attacker."""
+
+    def __init__(self, package: Optional[str] = None) -> None:
+        super().__init__(package=package)
+        self.subscribed = False
+        self.denied_reason: Optional[str] = None
+        self.swaps: List[str] = []
+        self.blocked: List[Tuple[str, str]] = []
+
+    def arm(self) -> bool:
+        """Try to attach to logcat; False when the channel is closed.
+
+        The attacker requests READ_LOGS like any pre-4.1 app would; on
+        newer builds the subscription itself is refused.
+        """
+        state = self.system.pms.require_package(self.package).permissions
+        state.request(READ_LOGS, user_approves=True)
+        try:
+            self.system.logcat.subscribe(self.caller, self._on_log)
+        except SecurityException as exc:
+            self.denied_reason = str(exc)
+            return False
+        self.subscribed = True
+        return True
+
+    @property
+    def succeeded(self) -> bool:
+        """True once at least one consent-window swap landed."""
+        return bool(self.swaps)
+
+    def _on_log(self, entry: LogEntry) -> None:
+        if entry.tag != "PackageInstaller":
+            return
+        match = _CONSENT_RE.search(entry.message)
+        if match is None:
+            return
+        _package, staged_path = match.groups()
+        self._swap(staged_path)
+
+    def _swap(self, staged_path: str) -> None:
+        try:
+            genuine = self.read_file(staged_path)
+            replacement = self.forge_replacement(genuine)
+            self.write_file(staged_path, replacement.to_bytes())
+        except AccessDenied as exc:
+            self.blocked.append((staged_path, str(exc)))
+            return
+        except (MalformedApk, FilesystemError) as exc:
+            self.blocked.append((staged_path, f"swap failed: {exc}"))
+            return
+        self.swaps.append(staged_path)

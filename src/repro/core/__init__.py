@@ -1,0 +1,53 @@
+"""The paper's contribution as a library: AIT modelling and scenarios.
+
+- :mod:`repro.core.ait` — the four-step App Installation Transaction
+  model (Figure 1) with per-step tracing,
+- :mod:`repro.core.outcomes` — structured results of installs, attacks
+  and defenses,
+- :mod:`repro.core.scenario` — compose a device + installer + attacker
+  + defenses into one runnable experiment,
+- :mod:`repro.core.campaign` — batch scenario execution with
+  success/detection statistics (powers Table VII and the
+  false-positive study).
+
+``Scenario`` and ``Campaign`` are provided lazily (PEP 562): they pull
+in the installers and attacks packages, which themselves import
+``repro.core.ait`` — eager imports here would cycle.
+"""
+
+from repro.core.ait import AITStep, StepTrace, TransactionTrace
+from repro.core.outcomes import AttackResult, DefenseReport, InstallOutcome
+
+__all__ = [
+    "AITStep",
+    "StepTrace",
+    "TransactionTrace",
+    "InstallOutcome",
+    "AttackResult",
+    "DefenseReport",
+    "Scenario",
+    "Campaign",
+    "CampaignStats",
+    "Timeline",
+]
+
+_LAZY = {
+    "Scenario": ("repro.core.scenario", "Scenario"),
+    "Campaign": ("repro.core.campaign", "Campaign"),
+    "CampaignStats": ("repro.core.campaign", "CampaignStats"),
+    "Timeline": ("repro.core.timeline", "Timeline"),
+}
+
+
+def __getattr__(name):
+    """Resolve the heavyweight exports on first access."""
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

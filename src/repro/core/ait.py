@@ -1,0 +1,97 @@
+"""The App Installation Transaction (AIT) model — the paper's Figure 1.
+
+Every installer implementation narrates its transaction through a
+:class:`TransactionTrace`: which of the four steps ran, when, with what
+mechanism (Download Manager vs self-download, PMS vs PIA, SD-Card vs
+internal storage).  Traces power the Figure 1 reproduction and give
+tests a precise way to assert *where* in the AIT an attack landed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class AITStep(enum.Enum):
+    """The four steps of the App Installation Transaction (Figure 1)."""
+
+    INVOCATION = 1
+    DOWNLOAD = 2
+    TRIGGER = 3
+    INSTALL = 4
+
+    @property
+    def title(self) -> str:
+        """Human-readable step title, matching the paper's wording."""
+        return {
+            AITStep.INVOCATION: "AIT Invocation",
+            AITStep.DOWNLOAD: "APK Download",
+            AITStep.TRIGGER: "Installation Trigger",
+            AITStep.INSTALL: "APK Install",
+        }[self]
+
+
+@dataclass
+class StepTrace:
+    """One recorded step of a transaction."""
+
+    step: AITStep
+    start_ns: int
+    end_ns: int = -1
+    mechanism: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Step duration, or -1 if the step never completed."""
+        if self.end_ns < 0:
+            return -1
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class TransactionTrace:
+    """The full record of one AIT run by one installer."""
+
+    installer_package: str
+    target_package: str
+    steps: List[StepTrace] = field(default_factory=list)
+    completed: bool = False
+    error: Optional[str] = None
+
+    def begin(self, step: AITStep, start_ns: int, mechanism: str = "",
+              **detail: Any) -> StepTrace:
+        """Open a step; returns the trace entry to close later."""
+        entry = StepTrace(step=step, start_ns=start_ns, mechanism=mechanism,
+                          detail=dict(detail))
+        self.steps.append(entry)
+        return entry
+
+    def step_for(self, step: AITStep) -> Optional[StepTrace]:
+        """The last recorded entry for ``step``, if any."""
+        for entry in reversed(self.steps):
+            if entry.step is step:
+                return entry
+        return None
+
+    def mechanisms(self) -> Dict[AITStep, str]:
+        """Step -> mechanism map (the Figure 1 'design variant' row)."""
+        return {entry.step: entry.mechanism for entry in self.steps}
+
+    def describe(self) -> str:
+        """Multi-line rendering of the transaction (Figure 1 style)."""
+        lines = [
+            f"AIT of {self.installer_package} installing {self.target_package}:"
+        ]
+        for entry in self.steps:
+            duration = entry.duration_ns
+            duration_text = f"{duration / 1e6:.2f} ms" if duration >= 0 else "aborted"
+            lines.append(
+                f"  [{entry.step.value}] {entry.step.title:22s} "
+                f"via {entry.mechanism or 'n/a':28s} ({duration_text})"
+            )
+        status = "completed" if self.completed else f"failed: {self.error}"
+        lines.append(f"  -> {status}")
+        return "\n".join(lines)

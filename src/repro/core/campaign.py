@@ -1,0 +1,94 @@
+"""Campaigns: batch scenario execution with aggregate statistics.
+
+Powers Table VII (attack x defense effectiveness) and the Section VI-A
+false-positive study (many benign installs, count spurious alarms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.outcomes import DefenseReport, InstallOutcome
+from repro.core.scenario import Scenario
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated results of a campaign."""
+
+    runs: int = 0
+    installs_completed: int = 0
+    hijacks: int = 0
+    clean_installs: int = 0
+    errors: int = 0
+    alarms: int = 0
+    blocked: int = 0
+    outcomes: List[InstallOutcome] = field(default_factory=list)
+
+    def record(self, outcome: InstallOutcome,
+               reports: Sequence[DefenseReport]) -> None:
+        """Fold one run into the totals."""
+        self.runs += 1
+        self.outcomes.append(outcome)
+        if outcome.installed:
+            self.installs_completed += 1
+        if outcome.hijacked:
+            self.hijacks += 1
+        if outcome.clean_install:
+            self.clean_installs += 1
+        if outcome.error is not None:
+            self.errors += 1
+        self.alarms = sum(len(report.alarms) for report in reports)
+        self.blocked = sum(len(report.blocked_operations) for report in reports)
+
+    @property
+    def hijack_rate(self) -> float:
+        """Fraction of runs that ended with the attacker's package installed."""
+        return self.hijacks / self.runs if self.runs else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Alarms per run — meaningful on all-benign campaigns."""
+        return self.alarms / self.runs if self.runs else 0.0
+
+
+class Campaign:
+    """Run a sequence of installs through one scenario."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.stats = CampaignStats()
+
+    def install_many(self, packages: Sequence[str], arm_attacker: bool = True,
+                     rearm_between: bool = True) -> CampaignStats:
+        """Run one AIT per package, accumulating stats.
+
+        ``rearm_between=False`` arms the attacker only for the first
+        install (a one-shot attacker), which is how single-target
+        attacks behave in the wild.
+        """
+        for index, package in enumerate(packages):
+            arm_now = arm_attacker and (index == 0 or rearm_between)
+            outcome = self.scenario.run_install(package, arm_attacker=arm_now)
+            self.stats.record(outcome, self.scenario.defense_reports())
+        return self.stats
+
+
+def benign_workload(scenario: Scenario, count: int,
+                    size_bytes: int = 4096) -> List[str]:
+    """Publish ``count`` benign apps and return their package names.
+
+    Used by the false-positive study: the 45-day / 924-install field
+    test becomes a randomized benign install stream.
+    """
+    packages = []
+    for index in range(count):
+        package = f"com.benign.app{index:04d}"
+        scenario.publish_app(
+            package,
+            label=f"Benign App {index}",
+            size_bytes=size_bytes + scenario.system.rng.randint(0, size_bytes),
+        )
+        packages.append(package)
+    return packages

@@ -1,0 +1,27 @@
+"""Defenses against the Ghost Installer Attacks — Section V of the paper.
+
+- :mod:`repro.defenses.dapp` — the user-level app (no OS changes):
+  signature grab at download completion, verification at install,
+  race-condition heuristics on the event stream,
+- :mod:`repro.defenses.fuse_dac` — the system-level FUSE DAC scheme:
+  640-mode APKs, owner-only writes enforced in
+  ``check_caller_access_to_name``, path-alteration guard in
+  ``handle_rename`` backed by the APK list,
+- :mod:`repro.defenses.intent_detection` — the IntentFirewall
+  consecutive-Intent detector with the paper's three whitelist rules,
+- :mod:`repro.defenses.intent_origin` — delivery of the sender's
+  package name in the hidden ``mIntentOrigin`` field.
+"""
+
+from repro.defenses.dapp import Dapp
+from repro.defenses.fuse_dac import HardenedFuseDaemon, install_fuse_dac
+from repro.defenses.intent_detection import IntentDetectionScheme
+from repro.defenses.intent_origin import IntentOriginScheme
+
+__all__ = [
+    "Dapp",
+    "HardenedFuseDaemon",
+    "install_fuse_dac",
+    "IntentDetectionScheme",
+    "IntentOriginScheme",
+]

@@ -1,0 +1,201 @@
+"""DAPP: the user-level defense app (Section V-B).
+
+DAPP is an unprivileged app — distributable through Google Play — that
+protects even users of insecure installers:
+
+1. **Covering the attack window**: the moment a ``CLOSE_WRITE`` marks a
+   finished APK download, DAPP grabs the APK's certificate signature.
+   When the OS broadcasts ``PACKAGE_ADDED``/``PACKAGE_INSTALL`` for
+   that package, DAPP compares the installed certificate against the
+   grabbed one; a mismatch means the file was replaced in the window.
+2. **Finding race conditions**: replacement attempts announce
+   themselves on the event stream — ``MOVED_TO`` over a completed
+   download, ``DELETE`` right after completion followed by a new
+   ``CLOSE_WRITE``, or an ``OPEN`` + ``CLOSE_WRITE`` rewrite.  Any
+   write shortly after download completion is flagged.
+
+DAPP runs with ``startForeground`` so a malicious app holding
+``KILL_BACKGROUND_PROCESSES`` cannot terminate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AccessDenied, FilesystemError
+from repro.android.apk import Apk, MalformedApk
+from repro.android.app import App
+from repro.android.fileobserver import FileObserver
+from repro.android.filesystem import FileEvent, FileEventType
+from repro.android.pms import (
+    ACTION_PACKAGE_ADDED,
+    ACTION_PACKAGE_INSTALL,
+    ACTION_PACKAGE_REPLACED,
+    PackageBroadcast,
+)
+from repro.core.outcomes import DefenseReport
+from repro.sim.clock import seconds
+
+DAPP_PACKAGE = "org.gia.dapp"
+
+# "DAPP considers any CLOSE_WRITE that happens shortly after target_apk
+# download completion to be suspicious."
+DEFAULT_SUSPICION_WINDOW_NS = seconds(10)
+
+
+@dataclass
+class _GrabbedSignature:
+    """What DAPP recorded about one downloaded APK."""
+
+    path: str
+    package: str
+    certificate_fingerprint: str
+    grabbed_ns: int
+
+
+class Dapp(App):
+    """The user-level protection app."""
+
+    package = DAPP_PACKAGE
+
+    def __init__(self, watch_dirs: Optional[List[str]] = None,
+                 suspicion_window_ns: int = DEFAULT_SUSPICION_WINDOW_NS) -> None:
+        super().__init__()
+        self.watch_dirs = list(watch_dirs or [])
+        self.suspicion_window_ns = suspicion_window_ns
+        self.foreground_service = False
+        self._observers: List[FileObserver] = []
+        self._grabbed: Dict[str, _GrabbedSignature] = {}   # by package name
+        self._download_done_ns: Dict[str, int] = {}        # by path
+        # Paths whose staged APK was consumed by a completed install:
+        # later housekeeping (the store deleting or re-downloading the
+        # stage for an update) is not suspicious.
+        self._consumed_paths: set = set()
+        self.report = DefenseReport(defense_name="DAPP")
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def on_attached(self) -> None:
+        self.start_foreground()
+        for directory in self.watch_dirs:
+            self.watch(directory)
+        for action in (ACTION_PACKAGE_ADDED, ACTION_PACKAGE_REPLACED,
+                       ACTION_PACKAGE_INSTALL):
+            self.system.hub.subscribe(f"broadcast:{action}", self._on_package_event)
+
+    def start_foreground(self) -> None:
+        """startForeground(): pins DAPP against background killing."""
+        self.foreground_service = True
+
+    def on_background_killed(self) -> None:
+        """Process death: every observer dies with it.
+
+        Only reachable when ``foreground_service`` is off — the AMS
+        refuses to kill foreground services, which is why DAPP calls
+        ``startForeground`` the moment it attaches.
+        """
+        for observer in self._observers:
+            observer.stop_watching()
+
+    def watch(self, directory: str) -> None:
+        """Add a staging directory to the watch set."""
+        if not self.system.fs.exists(directory):
+            # The installer may create it later; watch from creation.
+            self.system.fs.makedirs(directory, self.system.system_caller)
+        observer = self.file_observer(directory)
+        observer.on_event(self._on_file_event)
+        observer.start_watching()
+        self._observers.append(observer)
+
+    # -- the situation-awareness module ------------------------------------------
+
+    def _on_file_event(self, event: FileEvent) -> None:
+        if not event.name.endswith(".apk"):
+            return
+        path = event.path
+        if event.event_type is FileEventType.CLOSE_WRITE:
+            if path in self._consumed_paths:
+                # A fresh download over an already-installed stage
+                # (an update): start a new observation cycle.
+                self._consumed_paths.discard(path)
+                self._download_done_ns[path] = event.time_ns
+                self._grab_signature(path, event.time_ns, replaces=False)
+                return
+            if path in self._download_done_ns:
+                self._flag(
+                    f"CLOSE_WRITE on {path} "
+                    f"{(event.time_ns - self._download_done_ns[path]) / 1e6:.0f} ms "
+                    "after download completion (possible replacement)"
+                )
+                self._grab_signature(path, event.time_ns, replaces=True)
+            else:
+                # First CLOSE_WRITE on this path: the download finished.
+                self._download_done_ns[path] = event.time_ns
+                self._grab_signature(path, event.time_ns, replaces=False)
+        elif event.event_type is FileEventType.MOVED_TO:
+            if path in self._download_done_ns:
+                self._flag(f"MOVED_TO replaced completed download {path}")
+                self._grab_signature(path, event.time_ns, replaces=True)
+            else:
+                # Xiaomi-style tmp-name rename: treat as completion.
+                self._download_done_ns[path] = event.time_ns
+                self._grab_signature(path, event.time_ns, replaces=False)
+        elif event.event_type is FileEventType.DELETE:
+            done = self._download_done_ns.pop(path, None)
+            if path in self._consumed_paths:
+                # The package installed from this stage already; the
+                # store cleaning up (or re-downloading for an update)
+                # is routine.
+                return
+            if done is not None and event.time_ns - done < self.suspicion_window_ns:
+                self._flag(
+                    f"DELETE of {path} shortly after download completion"
+                )
+
+    def _grab_signature(self, path: str, when_ns: int, replaces: bool) -> None:
+        try:
+            data = self.system.fs.read_bytes(path, self.caller, quiet=True)
+            apk = Apk.from_bytes(data)
+        except (AccessDenied, FilesystemError, MalformedApk):
+            return
+        if replaces and apk.package in self._grabbed:
+            # Keep the signature grabbed at the original completion: the
+            # later writer is exactly who we distrust.
+            return
+        self._grabbed[apk.package] = _GrabbedSignature(
+            path=path,
+            package=apk.package,
+            certificate_fingerprint=apk.certificate.fingerprint,
+            grabbed_ns=when_ns,
+        )
+
+    # -- install-time verification -----------------------------------------------------
+
+    def _on_package_event(self, broadcast: PackageBroadcast) -> None:
+        grabbed = self._grabbed.get(broadcast.package)
+        if grabbed is None:
+            return
+        installed = self.system.pms.get_package(broadcast.package)
+        if installed is None:
+            return
+        self._consumed_paths.add(grabbed.path)
+        if installed.certificate.fingerprint != grabbed.certificate_fingerprint:
+            self._flag(
+                f"installed certificate of {broadcast.package} differs from the "
+                "one grabbed at download time: replacement attack"
+            )
+
+    def _flag(self, message: str) -> None:
+        self.report.alarms.append(message)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def detected(self) -> bool:
+        """True once DAPP has raised any alarm."""
+        return self.report.detected
+
+    def grabbed_packages(self) -> List[str]:
+        """Packages whose download signature DAPP holds."""
+        return sorted(self._grabbed)

@@ -1,0 +1,145 @@
+"""The system-level FUSE DAC scheme (Section V-C).
+
+Three coordinated changes to the external-storage FUSE daemon:
+
+- ``derive_permissions_locked`` (here :meth:`HardenedFuseDaemon.on_create`):
+  every APK created on the SD-Card gets mode **640** and is recorded in
+  the *APK list* with its owner UID,
+- ``check_caller_access_to_name``: because stock Android ignores DAC on
+  the SD-Card, the mode alone changes nothing — this check now refuses
+  writes/deletes on a listed APK by anyone but its owner (or a system
+  process, so Settings can still free space),
+- ``handle_rename``: path-alteration requests (move/rename of the APK
+  or any ancestor directory) are vetoed when the affected subtree
+  contains APKs the caller does not own — closing the bypass of
+  renaming the directory out from under the protection.
+
+The protection is kept after install, in case the APK is re-installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AccessDenied
+from repro.android.filesystem import Caller, Filesystem, Inode
+from repro.android.fuse import FuseDaemon
+from repro.core.outcomes import DefenseReport
+
+
+@dataclass(frozen=True)
+class ApkListEntry:
+    """One row of the APK list: owner and location of a protected APK."""
+
+    path: str
+    owner_uid: int
+
+
+class HardenedFuseDaemon(FuseDaemon):
+    """The patched FUSE daemon."""
+
+    APK_MODE = 0o640
+
+    def __init__(self) -> None:
+        self.apk_list: Dict[str, ApkListEntry] = {}
+        self.report = DefenseReport(defense_name="FUSE-DAC")
+
+    # -- derive_permissions_locked ------------------------------------------------
+
+    def on_create(self, fs: Filesystem, caller: Caller, path: str, inode: Inode) -> None:
+        if self._is_apk(path):
+            inode.mode = self.APK_MODE
+            # A recreate after an owner delete re-registers ownership.
+            self.apk_list[path] = ApkListEntry(path=path, owner_uid=caller.uid)
+        else:
+            super().on_create(fs, caller, path, inode)
+
+    # -- check_caller_access_to_name ------------------------------------------------
+
+    def check_caller_access_to_name(self, fs: Filesystem, caller: Caller,
+                                    path: str, inode: Optional[Inode]) -> None:
+        entry = self.apk_list.get(path)
+        if entry is None:
+            if self._is_apk(path) and inode is not None:
+                # An APK that predates the defense: adopt it with its
+                # current owner so it is protected from now on.
+                entry = ApkListEntry(path=path, owner_uid=inode.owner_uid)
+                self.apk_list[path] = entry
+            else:
+                return
+        if caller.is_system or caller.uid == entry.owner_uid:
+            return
+        self._block(f"write to protected APK {path} by uid {caller.uid}")
+        raise AccessDenied(path, "APK is write-protected (owner-only)")
+
+    # -- handle_rename ------------------------------------------------------------------
+
+    def handle_rename(self, fs: Filesystem, caller: Caller, src: str, dst: str) -> None:
+        if caller.is_system:
+            return
+        self._adopt_existing(fs, dst)
+        for affected in (src, dst):
+            for entry in self._entries_under(affected):
+                if entry.owner_uid != caller.uid:
+                    self._block(
+                        f"rename {src} -> {dst} touches protected APK "
+                        f"{entry.path} (owner uid {entry.owner_uid})"
+                    )
+                    raise AccessDenied(
+                        affected, "path alteration touches a protected APK"
+                    )
+        # The owner moving a file into an .apk name keeps the list
+        # coherent: the destination is protected from now on, whether or
+        # not the source was tracked (e.g. a .tmp download being renamed
+        # to its official name, the Xiaomi pattern).
+        moved = self.apk_list.pop(src, None)
+        if self._is_apk(dst):
+            owner_uid = moved.owner_uid if moved is not None else caller.uid
+            self.apk_list[dst] = ApkListEntry(path=dst, owner_uid=owner_uid)
+
+    def _adopt_existing(self, fs: Filesystem, path: str) -> None:
+        """Track an already-present APK at ``path`` by its inode owner."""
+        if not self._is_apk(path) or path in self.apk_list:
+            return
+        try:
+            stat = fs.stat(path)
+        except Exception:
+            return
+        self.apk_list[path] = ApkListEntry(path=path, owner_uid=stat.owner_uid)
+
+    # -- deletes keep the list coherent too ------------------------------------------------
+
+    def check_delete(self, fs: Filesystem, caller: Caller, path: str,
+                     inode: Optional[Inode]) -> None:
+        super().check_delete(fs, caller, path, inode)
+        # Reaching here means the delete is allowed (owner or system).
+        self.apk_list.pop(path, None)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _is_apk(path: str) -> bool:
+        return path.endswith(".apk")
+
+    def _entries_under(self, path: str) -> List[ApkListEntry]:
+        prefix = path.rstrip("/") + "/"
+        return [
+            entry
+            for entry_path, entry in self.apk_list.items()
+            if entry_path == path or entry_path.startswith(prefix)
+        ]
+
+    def _block(self, message: str) -> None:
+        self.report.blocked_operations.append(message)
+
+
+def install_fuse_dac(system: "object") -> HardenedFuseDaemon:
+    """Swap the stock FUSE daemon on ``system`` for the hardened one.
+
+    Returns the daemon so callers can read its report and APK list.
+    """
+    daemon = HardenedFuseDaemon()
+    system.fs.set_policy(system.layout.external_root, daemon)
+    system.fuse_daemon = daemon
+    return daemon

@@ -1,0 +1,40 @@
+"""Intent-origin identification (Section V-C).
+
+The root cause of the redirect-Intent threat is that a recipient cannot
+learn who sent an Intent.  The scheme adds a hidden ``mIntentOrigin``
+field to :class:`~repro.android.intents.Intent`; when an Intent passes
+through the (modified) IntentFirewall, ``checkIntent`` calls the hidden
+``setIntentOrigin`` API with the sender's package name, and the
+recipient can inspect it with ``getIntentOrigin`` — e.g. an appstore can
+show the user *which app* redirected them here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.intent_firewall import (
+    InspectionResult,
+    IntentFirewall,
+    IntentRecord,
+)
+from repro.core.outcomes import DefenseReport
+
+
+class IntentOriginScheme:
+    """Stamps sender identity into every activity Intent."""
+
+    def __init__(self) -> None:
+        self.report = DefenseReport(defense_name="Intent-Origin")
+        self.stamped: List[str] = []
+
+    def install(self, firewall: IntentFirewall) -> "IntentOriginScheme":
+        """Register with ``firewall``; returns self for chaining."""
+        firewall.add_inspector(self.inspect)
+        return self
+
+    def inspect(self, record: IntentRecord) -> InspectionResult:
+        """The setIntentOrigin call inside checkIntent."""
+        record.intent.set_intent_origin(record.sender_package)
+        self.stamped.append(record.sender_package)
+        return InspectionResult()

@@ -1,0 +1,156 @@
+"""Exception hierarchy for the GIA reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the Android-substrate errors (filesystem,
+permissions, package manager) that mirror real Android failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is used incorrectly."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the kernel runs out of events while processes wait."""
+
+
+# ---------------------------------------------------------------------------
+# Filesystem errors. These intentionally mirror errno semantics so that the
+# simulated Android components can react the way real code reacts to the
+# corresponding POSIX failures.
+# ---------------------------------------------------------------------------
+
+
+class FilesystemError(ReproError):
+    """Base class for errors raised by the in-memory VFS."""
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{message}: {path}")
+        self.path = path
+
+
+class FileNotFound(FilesystemError):
+    """ENOENT: the path does not resolve to an existing node."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "no such file or directory")
+
+
+class FileExists(FilesystemError):
+    """EEXIST: exclusive creation hit an existing node."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "file exists")
+
+
+class NotADirectory(FilesystemError):
+    """ENOTDIR: a non-directory appeared in the middle of a path."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "not a directory")
+
+
+class IsADirectory(FilesystemError):
+    """EISDIR: a file operation was attempted on a directory."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "is a directory")
+
+
+class AccessDenied(FilesystemError):
+    """EACCES/EPERM: the caller may not perform the operation."""
+
+    def __init__(self, path: str, reason: str = "permission denied") -> None:
+        super().__init__(path, reason)
+
+
+class StorageFull(FilesystemError):
+    """ENOSPC: the backing volume has no room for the write."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "no space left on device")
+
+
+class SymlinkLoop(FilesystemError):
+    """ELOOP: too many levels of symbolic links."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "too many levels of symbolic links")
+
+
+# ---------------------------------------------------------------------------
+# Android-framework errors.
+# ---------------------------------------------------------------------------
+
+
+class AndroidError(ReproError):
+    """Base class for simulated Android framework errors."""
+
+
+class SecurityException(AndroidError):
+    """Mirror of ``java.lang.SecurityException``: a permission check failed."""
+
+
+class PermissionUnknown(AndroidError):
+    """A permission name was referenced but never defined on the device."""
+
+
+class InstallError(AndroidError):
+    """Base class for Package Manager installation failures."""
+
+    failure_code = "INSTALL_FAILED"
+
+
+class InstallVerificationError(InstallError):
+    """The integrity verification step rejected the package."""
+
+    failure_code = "INSTALL_FAILED_VERIFICATION_FAILURE"
+
+
+class InstallSignatureError(InstallError):
+    """An update's certificate differs from the installed package's."""
+
+    failure_code = "INSTALL_FAILED_UPDATE_INCOMPATIBLE"
+
+
+class InstallStorageError(InstallError):
+    """There is not enough internal storage to complete the install."""
+
+    failure_code = "INSTALL_FAILED_INSUFFICIENT_STORAGE"
+
+
+class InstallAbortedError(InstallError):
+    """The user declined the consent dialog, or the installer aborted."""
+
+    failure_code = "INSTALL_FAILED_ABORTED"
+
+
+class PackageNotFound(AndroidError):
+    """A package name was queried but is not installed."""
+
+
+class DownloadError(AndroidError):
+    """Base class for Download Manager failures."""
+
+
+class DownloadDestinationError(DownloadError):
+    """The requested destination is not authorized for the caller."""
+
+
+class ActivityNotFound(AndroidError):
+    """No activity resolves the given Intent."""
+
+
+class CorpusError(ReproError):
+    """Raised when the synthetic corpus generator is misconfigured."""
+
+
+class SmaliParseError(ReproError):
+    """Raised when the smali-like IR cannot be parsed."""

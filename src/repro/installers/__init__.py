@@ -1,0 +1,51 @@
+"""Installer apps: behavioural re-implementations of the paper's subjects.
+
+Each module encodes one installer's AIT design exactly as Section III
+describes it — storage choice, integrity-check fingerprint (how many
+``CLOSE_NOWRITE`` passes it makes over the APK), name randomization,
+rename-on-complete, Download Manager vs self-download, PMS vs PIA, and
+the Intent/broadcast interfaces that Step-1 attacks abuse.
+"""
+
+from repro.installers.base import (
+    AppStoreBackend,
+    BaseInstaller,
+    InstallerProfile,
+    StoreListing,
+)
+from repro.installers.amazon import AmazonInstaller, NewAmazonInstaller
+from repro.installers.xiaomi import XiaomiInstaller, XIAOMI_PUSH_ACTION
+from repro.installers.baidu import BaiduInstaller
+from repro.installers.qihoo import QihooInstaller
+from repro.installers.dtignite import DTIgniteInstaller
+from repro.installers.google_play import GooglePlayInstaller
+from repro.installers.huawei import HuaweiInstaller
+from repro.installers.slideme import SlideMeInstaller
+from repro.installers.tencent import TencentInstaller
+from repro.installers.generic import (
+    NaiveSdcardInstaller,
+    SecureInternalInstaller,
+)
+from repro.installers.registry import all_installer_types, installer_by_name
+
+__all__ = [
+    "AppStoreBackend",
+    "BaseInstaller",
+    "InstallerProfile",
+    "StoreListing",
+    "AmazonInstaller",
+    "NewAmazonInstaller",
+    "XiaomiInstaller",
+    "XIAOMI_PUSH_ACTION",
+    "BaiduInstaller",
+    "QihooInstaller",
+    "DTIgniteInstaller",
+    "GooglePlayInstaller",
+    "HuaweiInstaller",
+    "TencentInstaller",
+    "SlideMeInstaller",
+    "NaiveSdcardInstaller",
+    "SecureInternalInstaller",
+    "all_installer_types",
+    "installer_by_name",
+]

@@ -1,0 +1,109 @@
+"""The Amazon appstore (``com.amazon.venezia``).
+
+Paper facts reproduced (Sections III-B and III-D):
+
+- SD-Card staging with **randomized APK names**,
+- integrity check that makes **7 passes** over the file (the attacker's
+  ``CLOSE_NOWRITE`` fingerprint), then activates the PMS immediately,
+- the "wait-and-see" variant needs to replace the file **500 ms** after
+  download completion,
+- the public ``Venezia`` activity runs JavaScript from Intent extras
+  over a JS-Java bridge **without authenticating the sender**, letting
+  any app silently install/uninstall through Amazon's privileges,
+- the post-May-2015 version (:class:`NewAmazonInstaller`) adds
+  ``installPackageWithVerification`` (manifest checksum) and a DRM
+  tamper self-check — both defeated by manifest-preserving repackaging.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+AMAZON_PACKAGE = "com.amazon.venezia"
+VENEZIA_JS_EXTRA = "com.amazon.venezia.jsBridgePayload"
+
+AMAZON_PROFILE = InstallerProfile(
+    package=AMAZON_PACKAGE,
+    label="amazon-appstore",
+    uses_sdcard=True,
+    download_dir="/sdcard/amazon-appstore",
+    randomize_names=True,
+    verify_hash=True,
+    verify_reads=7,
+    verify_start_delay_ns=millis(50),
+    per_read_ns=millis(60),
+    install_delay_ns=millis(200),
+    silent=True,
+)
+
+NEW_AMAZON_PROFILE = InstallerProfile(
+    package=AMAZON_PACKAGE,
+    label="amazon-appstore",
+    uses_sdcard=True,
+    download_dir="/sdcard/amazon-appstore",
+    randomize_names=True,
+    verify_hash=True,
+    verify_reads=7,
+    verify_start_delay_ns=millis(50),
+    per_read_ns=millis(60),
+    install_delay_ns=millis(200),
+    silent=True,
+    uses_pms_verification=True,
+    drm_self_check=True,
+)
+
+
+class AmazonInstaller(BaseInstaller):
+    """The pre-2015 Amazon appstore."""
+
+    profile = AMAZON_PROFILE
+
+    def __init__(self, profile: Optional[InstallerProfile] = None) -> None:
+        super().__init__(profile)
+        self.js_executions: List[dict] = []
+        self.js_bridge_sanitized = False  # the post-report fix
+
+    def handle_intent(self, intent: Any) -> None:
+        """The Venezia activity: app pages plus the vulnerable JS bridge."""
+        super().handle_intent(intent)
+        payload = intent.extras.get(VENEZIA_JS_EXTRA)
+        if payload is None:
+            return
+        if self.js_bridge_sanitized:
+            # Fixed behaviour: script payloads from Intents are dropped.
+            return
+        # Vulnerable behaviour: no origin authentication, no input
+        # sanitization — the script drives private install services.
+        self._execute_js(payload)
+
+    def _execute_js(self, payload: str) -> None:
+        try:
+            command = json.loads(payload)
+        except (ValueError, TypeError):
+            return
+        self.js_executions.append(command)
+        operation = command.get("op")
+        target = command.get("package", "")
+        if operation == "install":
+            self.system.kernel.spawn(
+                self.run_ait(target), name=f"amazon-js-install-{target}"
+            )
+        elif operation == "uninstall":
+            self.system.pms.uninstall_package(target, self.caller)
+        elif operation == "invokeService":
+            # "a malware can actually invoke any private services"
+            self.js_executions[-1]["service_invoked"] = command.get("service", "")
+
+
+class NewAmazonInstaller(AmazonInstaller):
+    """Amazon appstore >= 17.0000.893.3C_647000010 (May 2015).
+
+    Adds the PMS manifest verification and DRM self-check the paper's
+    Step-4 attack defeats.
+    """
+
+    profile = NEW_AMAZON_PROFILE

@@ -1,0 +1,32 @@
+"""The Baidu appstore (``com.baidu.appsearch``).
+
+Paper fingerprint: SD-Card staging, integrity check with **2** read
+passes (2 ``CLOSE_NOWRITE`` events), and a wait-and-see replacement
+window **500 ms** after download completion (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+BAIDU_PACKAGE = "com.baidu.appsearch"
+
+BAIDU_PROFILE = InstallerProfile(
+    package=BAIDU_PACKAGE,
+    label="baidu-appstore",
+    uses_sdcard=True,
+    download_dir="/sdcard/baidu-appsearch",
+    verify_hash=True,
+    verify_reads=2,
+    verify_start_delay_ns=millis(200),
+    per_read_ns=millis(100),
+    install_delay_ns=millis(400),
+    silent=True,
+)
+
+
+class BaiduInstaller(BaseInstaller):
+    """The Baidu appstore."""
+
+    profile = BAIDU_PROFILE

@@ -1,0 +1,56 @@
+"""Generic installers: the long tail the measurement study quantifies.
+
+- :class:`NaiveSdcardInstaller` — the 83.7% case: an ordinary Google
+  Play app that self-updates through the SD-Card with **no integrity
+  check at all** and no silent-install privilege (it routes through the
+  PIA consent dialog).
+- :class:`SecureInternalInstaller` — the 16.3% case: internal staging
+  made world-readable, hash verified right before install (the paper's
+  Suggestion 1 + 2 followed to the letter).
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+NAIVE_PACKAGE = "com.example.selfupdater"
+SECURE_PACKAGE = "com.example.secureinstaller"
+
+NAIVE_PROFILE = InstallerProfile(
+    package=NAIVE_PACKAGE,
+    label="naive-updater",
+    uses_sdcard=True,
+    download_dir="/sdcard/Download",
+    verify_hash=False,
+    verify_reads=0,
+    verify_start_delay_ns=millis(100),
+    install_delay_ns=millis(300),
+    silent=False,
+    redownload_on_corrupt=False,
+)
+
+SECURE_PROFILE = InstallerProfile(
+    package=SECURE_PACKAGE,
+    label="secure-installer",
+    uses_sdcard=False,
+    world_readable_staging=True,
+    verify_hash=True,
+    verify_reads=1,
+    verify_start_delay_ns=millis(50),
+    install_delay_ns=millis(100),
+    silent=False,
+    delete_after_install=True,
+)
+
+
+class NaiveSdcardInstaller(BaseInstaller):
+    """A typical vulnerable self-updating app (SD-Card, no checks, PIA)."""
+
+    profile = NAIVE_PROFILE
+
+
+class SecureInternalInstaller(BaseInstaller):
+    """An installer following the paper's developer suggestions."""
+
+    profile = SECURE_PROFILE

@@ -1,0 +1,33 @@
+"""Google Play (``com.android.vending``) — the secure baseline.
+
+The one major store the paper found using **internal storage**: the APK
+is staged inside Play's private directory, made world-readable so the
+PMS can open it (the Section II requirement), verified, and installed
+silently.  SD-Card attackers never see the file.
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+GOOGLE_PLAY_PACKAGE = "com.android.vending"
+
+GOOGLE_PLAY_PROFILE = InstallerProfile(
+    package=GOOGLE_PLAY_PACKAGE,
+    label="google-play",
+    uses_sdcard=False,
+    world_readable_staging=True,
+    verify_hash=True,
+    verify_reads=1,
+    verify_start_delay_ns=millis(50),
+    install_delay_ns=millis(150),
+    silent=True,
+    delete_after_install=True,
+)
+
+
+class GooglePlayInstaller(BaseInstaller):
+    """Google Play: internal staging, the design GIA cannot hijack."""
+
+    profile = GOOGLE_PLAY_PROFILE

@@ -1,0 +1,31 @@
+"""The Huawei appstore (``com.huawei.appmarket``).
+
+Pre-installed on all Huawei devices (Table V).  Same AIT shape as the
+other vendor stores: SD-Card staging, hash check, silent install.
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+HUAWEI_PACKAGE = "com.huawei.appmarket"
+
+HUAWEI_PROFILE = InstallerProfile(
+    package=HUAWEI_PACKAGE,
+    label="huawei-appmarket",
+    uses_sdcard=True,
+    download_dir="/sdcard/HwMarket",
+    verify_hash=True,
+    verify_reads=2,
+    verify_start_delay_ns=millis(120),
+    per_read_ns=millis(70),
+    install_delay_ns=millis(300),
+    silent=True,
+)
+
+
+class HuaweiInstaller(BaseInstaller):
+    """The Huawei appstore."""
+
+    profile = HUAWEI_PROFILE

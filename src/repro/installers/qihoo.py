@@ -1,0 +1,33 @@
+"""The Qihoo360 appstore (``com.qihoo.appstore``).
+
+The paper calls Qihoo360 out as a renowned security company whose store
+nonetheless stages APKs on the SD-Card; its integrity check makes **3**
+read passes (3 ``CLOSE_NOWRITE`` events) before installation
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+QIHOO_PACKAGE = "com.qihoo.appstore"
+
+QIHOO_PROFILE = InstallerProfile(
+    package=QIHOO_PACKAGE,
+    label="qihoo360-appstore",
+    uses_sdcard=True,
+    download_dir="/sdcard/360Download",
+    verify_hash=True,
+    verify_reads=3,
+    verify_start_delay_ns=millis(100),
+    per_read_ns=millis(80),
+    install_delay_ns=millis(300),
+    silent=True,
+)
+
+
+class QihooInstaller(BaseInstaller):
+    """The Qihoo360 appstore."""
+
+    profile = QIHOO_PROFILE

@@ -1,0 +1,32 @@
+"""The SlideMe marketplace (``com.slideme.sam.manager``).
+
+A side-loaded third-party store from the paper's vulnerable list
+(Section IV-B).  Unlike the pre-installed stores it is typically NOT a
+system app, so its installs go through the **PIA consent dialog** —
+the Step-4 attack surface.
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+SLIDEME_PACKAGE = "com.slideme.sam.manager"
+
+SLIDEME_PROFILE = InstallerProfile(
+    package=SLIDEME_PACKAGE,
+    label="slideme",
+    uses_sdcard=True,
+    download_dir="/sdcard/slideme",
+    verify_hash=True,
+    verify_reads=1,
+    verify_start_delay_ns=millis(120),
+    install_delay_ns=millis(250),
+    silent=False,   # side-loaded: no INSTALL_PACKAGES, uses the PIA
+)
+
+
+class SlideMeInstaller(BaseInstaller):
+    """The SlideMe marketplace."""
+
+    profile = SLIDEME_PROFILE

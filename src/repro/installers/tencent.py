@@ -1,0 +1,32 @@
+"""The Tencent MyApp appstore (``com.tencent.android.qqdownloader``).
+
+One of the "popular appstore apps (Baidu, Tencent, Qihoo360, SlideMe)"
+the paper tested and found vulnerable (Section IV-B, Table V text).
+Fingerprint: SD-Card staging, 2-pass integrity check, silent install.
+"""
+
+from __future__ import annotations
+
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+TENCENT_PACKAGE = "com.tencent.android.qqdownloader"
+
+TENCENT_PROFILE = InstallerProfile(
+    package=TENCENT_PACKAGE,
+    label="tencent-myapp",
+    uses_sdcard=True,
+    download_dir="/sdcard/tencent/tassistant/apk",
+    verify_hash=True,
+    verify_reads=2,
+    verify_start_delay_ns=millis(150),
+    per_read_ns=millis(60),
+    install_delay_ns=millis(350),
+    silent=True,
+)
+
+
+class TencentInstaller(BaseInstaller):
+    """Tencent MyApp."""
+
+    profile = TENCENT_PROFILE

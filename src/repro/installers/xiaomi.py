@@ -1,0 +1,91 @@
+"""The Xiaomi appstore (``com.xiaomi.market``).
+
+Paper facts reproduced:
+
+- SD-Card staging with a temporary name that is **renamed to the
+  official name** when the download completes — the attacker's cue,
+- integrity check with **1** read pass (1 ``CLOSE_NOWRITE``), then the
+  PMS is activated immediately,
+- a cloud-push **BroadcastReceiver with no permission guard**: a forged
+  ``jsonContent`` payload (``{"type":"app","appId":...,"packageName":
+  ...}``) makes the store silently install the named app
+  (Section III-D, "Command injection").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.android.ams import BroadcastEnvelope
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+XIAOMI_PACKAGE = "com.xiaomi.market"
+XIAOMI_PUSH_ACTION = "com.xiaomi.market.push.RECEIVE"
+XIAOMI_PUSH_PERMISSION = "com.xiaomi.market.permission.PUSH"
+
+XIAOMI_PROFILE = InstallerProfile(
+    package=XIAOMI_PACKAGE,
+    label="xiaomi-appstore",
+    uses_sdcard=True,
+    download_dir="/sdcard/xiaomi-market",
+    verify_hash=True,
+    verify_reads=1,
+    verify_start_delay_ns=millis(100),
+    install_delay_ns=millis(300),
+    rename_on_complete=True,
+    silent=True,
+)
+
+
+class XiaomiInstaller(BaseInstaller):
+    """The Xiaomi appstore with its unauthenticated push receiver."""
+
+    profile = XIAOMI_PROFILE
+
+    def __init__(self, profile: Optional[InstallerProfile] = None,
+                 receiver_protected: bool = False) -> None:
+        super().__init__(profile)
+        # The fix the paper proposes: guard the receiver with a
+        # signature permission.  Vulnerable builds leave it open.
+        self.receiver_protected = receiver_protected
+        self.push_log: list = []
+
+    def on_attached(self) -> None:
+        super().on_attached()
+        self.register_receiver(
+            XIAOMI_PUSH_ACTION,
+            self._on_push,
+            required_permission=(
+                XIAOMI_PUSH_PERMISSION if self.receiver_protected else None
+            ),
+        )
+
+    def _on_push(self, envelope: BroadcastEnvelope) -> None:
+        """Cloud push handler: installs whatever the message names.
+
+        Deliberately never inspects ``envelope.sender_package`` — the
+        receiver cannot (and does not try to) authenticate the sender.
+        """
+        raw = envelope.extras.get("jsonContent")
+        if raw is None:
+            return
+        try:
+            message = json.loads(raw)
+        except (ValueError, TypeError):
+            return
+        self.push_log.append(message)
+        if message.get("type") != "app":
+            return
+        listing = self.backend.by_app_id(str(message.get("appId", "")))
+        if listing is None:
+            package_name = message.get("packageName", "")
+            if package_name not in self.backend.packages():
+                return
+            target = package_name
+        else:
+            target = listing.package
+        self.system.kernel.spawn(
+            self.run_ait(target), name=f"xiaomi-push-install-{target}"
+        )

@@ -1,0 +1,272 @@
+"""Compute the paper's measurement tables from corpora and fleets.
+
+Each ``compute_table*`` function runs the *analysis* (classifier, code
+scan, fleet joins) over generated inputs and returns a small dataclass
+with exactly the numbers the paper's table reports, so benchmarks can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.classifier import Category, InstallerClassifier
+from repro.analysis.corpus import (
+    CorpusApp,
+    WRITE_EXTERNAL,
+    generate_play_corpus,
+    generate_preinstalled_corpus,
+)
+from repro.analysis.factory_images import (
+    ALL_SPECS,
+    AMAZON_PKG,
+    DTIGNITE_PKG,
+    Fleet,
+    HUAWEI_STORE_PKG,
+    SPRINTZONE_PKG,
+    XIAOMI_STORE_PKG,
+)
+from repro.analysis.redirect_scan import RedirectStudy, scan_corpus
+
+
+# ---------------------------------------------------------------------------
+# Tables II and III — potentially vulnerable installers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InstallerBreakdown:
+    """Shared shape of Tables II and III."""
+
+    corpus_size: int
+    installers: int
+    vulnerable: int
+    secure: int
+    unknown: int
+    write_external: int
+
+    @property
+    def known(self) -> int:
+        """Installers with a resolved verdict (the 'excluding unknown' row)."""
+        return self.vulnerable + self.secure
+
+    @property
+    def vulnerable_share_excluding_unknown(self) -> float:
+        """e.g. 779/931 = 83.7% for the Play corpus."""
+        return self.vulnerable / self.known if self.known else 0.0
+
+    @property
+    def secure_share_excluding_unknown(self) -> float:
+        """e.g. 152/931 = 16.3%."""
+        return self.secure / self.known if self.known else 0.0
+
+    @property
+    def vulnerable_share_including_unknown(self) -> float:
+        """e.g. 779/1493 = 52.2%."""
+        return self.vulnerable / self.installers if self.installers else 0.0
+
+    @property
+    def secure_share_including_unknown(self) -> float:
+        """e.g. 152/1493 = 10.2%."""
+        return self.secure / self.installers if self.installers else 0.0
+
+
+@dataclass
+class Table2(InstallerBreakdown):
+    """Table II: potentially vulnerable Google Play apps."""
+
+
+@dataclass
+class Table3(InstallerBreakdown):
+    """Table III: potentially vulnerable pre-installed apps."""
+
+    total_instances: int = 0
+    write_external_instances: int = 0
+
+
+def compute_table2(apps: Optional[Sequence[CorpusApp]] = None,
+                   seed: int = 2016) -> Table2:
+    """Classify the Play corpus and fill Table II."""
+    apps = list(apps) if apps is not None else generate_play_corpus(seed)
+    results = InstallerClassifier().classify_corpus(apps)
+    return Table2(
+        corpus_size=len(apps),
+        installers=results.installers,
+        vulnerable=results.count(Category.POTENTIALLY_VULNERABLE),
+        secure=results.count(Category.POTENTIALLY_SECURE),
+        unknown=results.count(Category.UNKNOWN),
+        write_external=sum(1 for app in apps if app.has_permission(WRITE_EXTERNAL)),
+    )
+
+
+def compute_table3(apps: Optional[Sequence[CorpusApp]] = None,
+                   seed: int = 2016) -> Table3:
+    """Classify the pre-installed corpus and fill Table III."""
+    apps = list(apps) if apps is not None else generate_preinstalled_corpus(seed)
+    results = InstallerClassifier().classify_corpus(apps)
+    return Table3(
+        corpus_size=len(apps),
+        installers=results.installers,
+        vulnerable=results.count(Category.POTENTIALLY_VULNERABLE),
+        secure=results.count(Category.POTENTIALLY_SECURE),
+        unknown=results.count(Category.UNKNOWN),
+        write_external=sum(1 for app in apps if app.has_permission(WRITE_EXTERNAL)),
+        total_instances=sum(app.instances for app in apps),
+        write_external_instances=sum(
+            app.instances for app in apps if app.has_permission(WRITE_EXTERNAL)
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — hardcoded redirect URLs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table4:
+    """Table IV: number of fixed URL or redirection schemes."""
+
+    corpus_size: int
+    buckets: Dict[int, Tuple[int, float]]   # limit -> (count, fraction)
+    redirecting: int
+    redirecting_fraction: float
+
+
+def compute_table4(apps: Optional[Sequence[CorpusApp]] = None,
+                   seed: int = 2016) -> Table4:
+    """Scan the Play corpus code for Table IV."""
+    apps = list(apps) if apps is not None else generate_play_corpus(seed)
+    study: RedirectStudy = scan_corpus(apps)
+    return Table4(
+        corpus_size=len(apps),
+        buckets=study.table_iv_row(),
+        redirecting=study.apps_with_any(),
+        redirecting_fraction=study.apps_with_any() / len(apps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — impact of vulnerable pre-installed installers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ImpactRow:
+    """One row of Table V."""
+
+    installer_package: str
+    image_count: int
+    carriers: Tuple[str, ...]
+    vendors: Tuple[str, ...]
+    models: int
+
+
+@dataclass
+class Table5:
+    """Table V: devices/carriers/vendors affected per installer."""
+
+    rows: List[ImpactRow] = field(default_factory=list)
+
+    def row_for(self, package: str) -> Optional[ImpactRow]:
+        """Row of one installer, if present."""
+        for row in self.rows:
+            if row.installer_package == package:
+                return row
+        return None
+
+
+TABLE5_INSTALLERS = (
+    AMAZON_PKG, DTIGNITE_PKG, XIAOMI_STORE_PKG, HUAWEI_STORE_PKG, SPRINTZONE_PKG,
+)
+
+
+def compute_table5(fleet: Fleet) -> Table5:
+    """Join the fleet against the named vulnerable installers."""
+    table = Table5()
+    for package in TABLE5_INSTALLERS:
+        images = fleet.images_with_package(package)
+        table.rows.append(
+            ImpactRow(
+                installer_package=package,
+                image_count=len(images),
+                carriers=tuple(sorted({image.carrier for image in images})),
+                vendors=tuple(sorted({image.vendor for image in images})),
+                models=len({image.model for image in images}),
+            )
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table VI — INSTALL_PACKAGES prevalence
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VendorPrivilegeRow:
+    """One vendor's column of Table VI."""
+
+    vendor: str
+    avg_system_apps: float
+    avg_install_packages: float
+
+    @property
+    def ratio(self) -> float:
+        """Share of system apps holding INSTALL_PACKAGES."""
+        return (
+            self.avg_install_packages / self.avg_system_apps
+            if self.avg_system_apps else 0.0
+        )
+
+
+@dataclass
+class Table6:
+    """Table VI: system apps with INSTALL_PACKAGES per vendor."""
+
+    rows: List[VendorPrivilegeRow] = field(default_factory=list)
+    doubled_over_period: bool = False
+    flagship_range: Tuple[int, int] = (0, 0)
+
+    def row_for(self, vendor: str) -> Optional[VendorPrivilegeRow]:
+        """Row of one vendor."""
+        for row in self.rows:
+            if row.vendor == vendor:
+                return row
+        return None
+
+
+def compute_table6(fleet: Fleet) -> Table6:
+    """Aggregate INSTALL_PACKAGES prevalence per vendor."""
+    table = Table6()
+    for spec in ALL_SPECS:
+        images = fleet.by_vendor(spec.vendor)
+        table.rows.append(
+            VendorPrivilegeRow(
+                vendor=spec.vendor,
+                avg_system_apps=sum(len(image.apps) for image in images) / len(images),
+                avg_install_packages=(
+                    sum(len(image.install_packages_apps()) for image in images)
+                    / len(images)
+                ),
+            )
+        )
+    # The "doubled in three years" finding: oldest vs newest quartile.
+    oldest = _avg_ip(fleet, year_index=0)
+    newest = _avg_ip(fleet, year_index=3)
+    table.doubled_over_period = newest >= 1.9 * oldest
+    flagship_counts = [
+        len(image.install_packages_apps())
+        for image in fleet.images if image.flagship
+    ]
+    if flagship_counts:
+        table.flagship_range = (min(flagship_counts), max(flagship_counts))
+    return table
+
+
+def _avg_ip(fleet: Fleet, year_index: int) -> float:
+    images = [image for image in fleet.images if image.year_index == year_index]
+    if not images:
+        return 0.0
+    return sum(len(image.install_packages_apps()) for image in images) / len(images)

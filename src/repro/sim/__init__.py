@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel used by the Android substrate.
+
+The kernel models time in integer nanoseconds (matching the paper's use
+of ``SystemClock.elapsedRealtimeNanos()``) and runs *processes* written
+as Python generators.  A process yields :class:`Sleep` to advance the
+clock, :class:`WaitFor` to block on a :class:`SimEvent`, and returns a
+value that becomes its result.
+
+Example
+-------
+>>> from repro.sim import Kernel, Sleep
+>>> kernel = Kernel()
+>>> def worker():
+...     yield Sleep(1_000)
+...     return "done"
+>>> proc = kernel.spawn(worker())
+>>> kernel.run()
+>>> proc.result
+'done'
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel, Process, SimEvent, Sleep, WaitFor
+from repro.sim.events import EventHub, Subscription
+from repro.sim.rand import DeterministicRandom
+
+__all__ = [
+    "SimClock",
+    "Kernel",
+    "Process",
+    "SimEvent",
+    "Sleep",
+    "WaitFor",
+    "EventHub",
+    "Subscription",
+    "DeterministicRandom",
+]

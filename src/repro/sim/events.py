@@ -1,0 +1,78 @@
+"""Topic-based publish/subscribe hub used for system-wide notifications.
+
+The Android substrate uses one :class:`EventHub` per simulated device
+for filesystem notifications (FileObserver), package broadcasts
+(``PACKAGE_ADDED``) and download-manager callbacks.  Delivery is
+scheduled through the kernel so subscribers observe events in a
+deterministic order and at the simulated time they occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.sim.kernel import Kernel
+
+Handler = Callable[[Any], None]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventHub.subscribe`; call ``cancel()``."""
+
+    hub: "EventHub"
+    topic: str
+    handler: Handler
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Stop delivering events to this subscription."""
+        if self.active:
+            self.active = False
+            self.hub._remove(self)
+
+
+class EventHub:
+    """Deterministic pub/sub with kernel-scheduled delivery."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        self._subs: Dict[str, List[Subscription]] = {}
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for every future event published on ``topic``."""
+        sub = Subscription(self, topic, handler)
+        self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def publish(self, topic: str, payload: Any = None, delay_ns: int = 0) -> int:
+        """Publish ``payload``, delivering via the kernel after ``delay_ns``.
+
+        Returns the number of subscriptions the event was scheduled for.
+        Handlers added after ``publish`` do not see the event, matching
+        inotify/broadcast semantics.
+        """
+        targets = [sub for sub in self._subs.get(topic, []) if sub.active]
+        for sub in targets:
+            self._kernel.call_later(delay_ns, _deliver(sub, payload))
+        return len(targets)
+
+    def subscriber_count(self, topic: str) -> int:
+        """Number of active subscriptions on ``topic``."""
+        return sum(1 for sub in self._subs.get(topic, []) if sub.active)
+
+    def _remove(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.topic, [])
+        if sub in subs:
+            subs.remove(sub)
+
+
+def _deliver(sub: Subscription, payload: Any) -> Callable[[], None]:
+    """Build a delivery thunk that respects late cancellation."""
+
+    def run() -> None:
+        if sub.active:
+            sub.handler(payload)
+
+    return run

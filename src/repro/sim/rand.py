@@ -1,0 +1,78 @@
+"""Seeded randomness helpers.
+
+Everything stochastic in the library (corpus generation, APK name
+randomization, workload jitter) flows through
+:class:`DeterministicRandom` so experiments are exactly repeatable from
+a seed, as the benchmark harness requires.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_ALNUM = string.ascii_lowercase + string.digits
+
+
+class DeterministicRandom:
+    """A thin, explicit wrapper over :class:`random.Random`."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Derive an independent child stream keyed by ``label``.
+
+        Forking keeps unrelated consumers (e.g. corpus generation and
+        attack jitter) from perturbing each other's sequences when one
+        of them draws more numbers.  The derivation uses a *stable*
+        hash — Python's built-in ``hash()`` is salted per process and
+        would break cross-run reproducibility.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.seed}:{label}".encode("utf-8")
+        ).digest()
+        child_seed = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+        return DeterministicRandom(child_seed)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw."""
+        return self._rng.random() < probability
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Pick one element uniformly."""
+        return self._rng.choice(options)
+
+    def sample(self, options: Sequence[T], count: int) -> List[T]:
+        """Pick ``count`` distinct elements."""
+        return self._rng.sample(list(options), count)
+
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def token(self, length: int = 12) -> str:
+        """Random lowercase alphanumeric token (APK name randomization)."""
+        return "".join(self._rng.choice(_ALNUM) for _ in range(length))
+
+    def weighted_choice(self, options: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one element with the given relative weights."""
+        return self._rng.choices(list(options), weights=list(weights), k=1)[0]

@@ -1,0 +1,32 @@
+"""Developer toolkit: the paper's Section VII suggestions as a library.
+
+The paper closes with four suggestions for developers who must build
+their own installers.  This package makes them executable:
+
+- :mod:`repro.toolkit.storage_chooser` — Suggestion 1: use internal
+  storage when the (2x) space is available, fall back to the SD-Card
+  otherwise (the Section II economics),
+- :mod:`repro.toolkit.secure_installer` — a
+  :class:`~repro.toolkit.secure_installer.ToolkitInstaller` that
+  implements Suggestions 1, 2 and the Section V FileObserver
+  self-defense: it verifies the hash *atomically with* the install
+  (no TOCTOU window), watches its own SD-Card staging directory, and
+  fails closed on tampering,
+- :mod:`repro.toolkit.auditor` — a linter for
+  :class:`~repro.installers.base.InstallerProfile` objects that flags
+  violations of the suggestions (the checks the paper wishes Android
+  shipped as guidance).
+"""
+
+from repro.toolkit.storage_chooser import StorageChoice, choose_storage
+from repro.toolkit.secure_installer import ToolkitInstaller
+from repro.toolkit.auditor import AuditFinding, Severity, audit_profile
+
+__all__ = [
+    "StorageChoice",
+    "choose_storage",
+    "ToolkitInstaller",
+    "AuditFinding",
+    "Severity",
+    "audit_profile",
+]

@@ -1,0 +1,236 @@
+"""A by-the-book installer implementing the paper's suggestions.
+
+:class:`ToolkitInstaller` differs from every store in Section III in
+three security-relevant ways:
+
+1. **Suggestion 1** — it calls
+   :func:`~repro.toolkit.storage_chooser.choose_storage` per install:
+   internal staging whenever 2x the APK fits, SD-Card only as a
+   fallback on space-starved devices.
+2. **Suggestion 2** — the hash verification and the PMS invocation
+   happen **atomically** (in one scheduler step, with no delay between
+   them), so there is no check-to-use window for a Step-3 attacker to
+   fill.
+3. **Section V self-defense** — when forced onto the SD-Card, it runs
+   its own FileObserver guard over the staging directory: the APK's
+   signature is captured at download completion, any subsequent write
+   or move is recorded, and a tampered stage is discarded and
+   re-downloaded (fail closed).  After installation it re-checks the
+   installed certificate against the captured one.
+
+The result: on the same simulated device where Amazon/DTIgnite are
+hijacked, the toolkit installer either installs the genuine package or
+aborts — the attacker never gets code installed.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.errors import InstallVerificationError
+from repro.android.apk import Apk, MalformedApk, hash_bytes
+from repro.android.fileobserver import FileObserver
+from repro.android.filesystem import FileEvent, FileEventType
+from repro.android.packages import InstalledPackage
+from repro.android.pia import ConsentUser
+from repro.core.ait import AITStep, TransactionTrace
+from repro.installers.base import BaseInstaller, InstallerProfile, StoreListing
+from repro.sim.clock import millis
+from repro.sim.kernel import Sleep
+from repro.toolkit.storage_chooser import StorageChoice, StorageDecision, choose_storage
+
+TOOLKIT_PACKAGE = "org.gia.toolkit.installer"
+
+TOOLKIT_PROFILE = InstallerProfile(
+    package=TOOLKIT_PACKAGE,
+    label="toolkit-installer",
+    uses_sdcard=False,               # dynamic; this is the preferred path
+    world_readable_staging=True,
+    verify_hash=True,
+    verify_reads=1,
+    verify_start_delay_ns=millis(20),
+    install_delay_ns=0,              # Suggestion 2: no check-to-use gap
+    silent=True,
+    delete_after_install=True,
+)
+
+
+@dataclass
+class StageGuard:
+    """The installer's own mini-DAPP over its SD-Card staging directory."""
+
+    observer: FileObserver
+    staged_name: str = ""
+    download_complete: bool = False
+    captured_fingerprint: Optional[str] = None
+    tamper_events: List[FileEvent] = field(default_factory=list)
+
+    def watch(self) -> None:
+        """Start observing."""
+        self.observer.on_event(self._on_event)
+        self.observer.start_watching()
+
+    def stop(self) -> None:
+        """Stop observing."""
+        self.observer.stop_watching()
+
+    @property
+    def tampered(self) -> bool:
+        """True once any post-completion write/move/delete was seen."""
+        return bool(self.tamper_events)
+
+    def _on_event(self, event: FileEvent) -> None:
+        if event.name != self.staged_name:
+            return
+        if event.event_type is FileEventType.CLOSE_WRITE and not self.download_complete:
+            self.download_complete = True
+            return
+        if not self.download_complete:
+            return
+        if event.event_type in (FileEventType.CLOSE_WRITE,
+                                FileEventType.MOVED_TO,
+                                FileEventType.DELETE,
+                                FileEventType.MODIFY):
+            self.tamper_events.append(event)
+
+
+class ToolkitInstaller(BaseInstaller):
+    """The secure installer built from the paper's suggestions."""
+
+    profile = TOOLKIT_PROFILE
+
+    def __init__(self, profile: Optional[InstallerProfile] = None,
+                 idle_before_install_ns: int = 0) -> None:
+        super().__init__(profile)
+        self.decisions: List[StorageDecision] = []
+        self.aborted_stages: int = 0
+        # Stores that pre-download apps leave the stage idle before the
+        # user triggers the install; the guard covers that window.
+        self.idle_before_install_ns = idle_before_install_ns
+
+    # The toolkit installer replaces the whole transaction so the
+    # verify+install atomicity is explicit.
+    def run_ait(self, target_package: str, user: Optional[ConsentUser] = None,
+                ) -> Generator[Any, Any, InstalledPackage]:
+        listing = self.backend.get(target_package)
+        trace = TransactionTrace(
+            installer_package=self.package, target_package=target_package
+        )
+        self.traces.append(trace)
+        decision = choose_storage(
+            self.system.internal_volume, listing.apk.size_bytes
+        )
+        self.decisions.append(decision)
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > 1 + self.profile.max_retries:
+                trace.error = "staging repeatedly tampered with"
+                raise InstallVerificationError(
+                    f"{self.package}: gave up installing {target_package} "
+                    "after repeated tampering"
+                )
+            staged_path, guard = yield from self._stage(listing, trace, decision)
+            if self.idle_before_install_ns:
+                yield Sleep(self.idle_before_install_ns)
+            package = self._verify_and_install_atomically(
+                staged_path, listing, trace, guard
+            )
+            if package is None:
+                self.aborted_stages += 1
+                continue  # fail closed: discard and re-download
+            if guard is not None:
+                guard.stop()
+            if self.system.fs.exists(staged_path):
+                self.delete_file(staged_path)
+            trace.completed = True
+            return package
+
+    # -- staging -----------------------------------------------------------------
+
+    def _stage(self, listing: StoreListing, trace: TransactionTrace,
+               decision: StorageDecision):
+        if decision.choice is StorageChoice.INTERNAL:
+            staging_dir = f"{self.private_dir}/staging"
+            storage_label = "internal"
+        else:
+            staging_dir = f"/sdcard/{self.profile.label}"
+            storage_label = "sdcard+guard"
+        if not self.system.fs.exists(staging_dir):
+            self.make_dirs(staging_dir)
+        filename = f"{self.system.rng.token(12)}.apk"
+        staged_path = posixpath.join(staging_dir, filename)
+        guard: Optional[StageGuard] = None
+        if decision.choice is StorageChoice.EXTERNAL:
+            guard = StageGuard(
+                observer=self.file_observer(staging_dir), staged_name=filename
+            )
+            guard.watch()
+        entry = trace.begin(AITStep.DOWNLOAD, self.system.now_ns,
+                            mechanism=f"self-download/{storage_label}",
+                            path=staged_path)
+        yield from self._self_download(listing, staged_path)
+        if decision.choice is StorageChoice.INTERNAL:
+            self.set_world_readable(staged_path)
+        elif guard is not None:
+            # Capture the certificate the instant the download lands.
+            guard.captured_fingerprint = self._fingerprint(staged_path)
+        entry.end_ns = self.system.now_ns
+        return staged_path, guard
+
+    def _fingerprint(self, path: str) -> Optional[str]:
+        try:
+            data = self.system.fs.read_bytes(path, self.caller, quiet=True)
+            return Apk.from_bytes(data).certificate.fingerprint
+        except (MalformedApk, Exception):
+            return None
+
+    # -- the atomic verify+install (Suggestion 2) -------------------------------------
+
+    def _verify_and_install_atomically(self, staged_path: str,
+                                       listing: StoreListing,
+                                       trace: TransactionTrace,
+                                       guard: Optional[StageGuard],
+                                       ) -> Optional[InstalledPackage]:
+        entry = trace.begin(
+            AITStep.TRIGGER, self.system.now_ns,
+            mechanism="atomic hash-check+install",
+        )
+        if guard is not None and guard.tampered:
+            entry.detail["aborted"] = "guard saw tampering before check"
+            entry.end_ns = self.system.now_ns
+            self._discard(staged_path)
+            return None
+        content = self.read_file(staged_path)
+        if hash_bytes(content) != listing.file_hash:
+            entry.detail["hash_ok"] = False
+            entry.end_ns = self.system.now_ns
+            self._discard(staged_path)
+            return None
+        entry.detail["hash_ok"] = True
+        entry.end_ns = self.system.now_ns
+        install_entry = trace.begin(AITStep.INSTALL, self.system.now_ns,
+                                    mechanism="PMS.installPackage (same step)")
+        # No yield between the check above and this call: the scheduler
+        # cannot interleave an attacker callback.
+        package = self.system.pms.install_package(
+            staged_path, self.caller, installer_package=self.package
+        )
+        install_entry.end_ns = self.system.now_ns
+        if guard is not None and guard.captured_fingerprint is not None:
+            if package.certificate.fingerprint != guard.captured_fingerprint:
+                # Post-install signature mismatch: undo and fail closed.
+                self.system.pms.uninstall_package(package.package, self.caller)
+                install_entry.detail["rolled_back"] = True
+                self._discard(staged_path)
+                return None
+        return package
+
+    def _discard(self, staged_path: str) -> None:
+        if self.system.fs.exists(staged_path):
+            try:
+                self.delete_file(staged_path)
+            except Exception:
+                pass

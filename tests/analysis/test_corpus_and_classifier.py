@@ -1,0 +1,260 @@
+"""Tests for corpus generation and the installer classifier.
+
+These verify both the *analysis logic* (on handcrafted apps) and the
+*calibration* (on the full generated corpora, matching the paper).
+"""
+
+import pytest
+
+from repro.analysis.classifier import Category, InstallerClassifier
+from repro.analysis.corpus import (
+    CorpusApp,
+    GroundTruth,
+    INSTALL_MARKER,
+    PlayCorpusSpec,
+    PreinstalledCorpusSpec,
+    SECURE_PREINSTALLED_PACKAGES,
+    WRITE_EXTERNAL,
+    generate_play_corpus,
+    generate_preinstalled_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def play_corpus():
+    return generate_play_corpus(seed=2016)
+
+
+@pytest.fixture(scope="module")
+def preinstalled_corpus():
+    return generate_preinstalled_corpus(seed=2016)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return InstallerClassifier()
+
+
+def make_app(smali, permissions=(WRITE_EXTERNAL,)):
+    return CorpusApp(
+        package="com.hand.crafted",
+        category="TOOLS",
+        truth=GroundTruth.NON_INSTALLER,
+        declared_permissions=frozenset(permissions),
+        smali_text=smali,
+    )
+
+
+# -- unit behaviour on handcrafted apps ------------------------------------------
+
+
+def test_non_installer_without_marker(classifier):
+    app = make_app('.class La;\n.method m()V\nconst-string v1, "x"\n.end method')
+    assert classifier.classify(app).category is Category.NOT_AN_INSTALLER
+
+
+def test_vulnerable_sdcard_installer(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v1, "/sdcard/dl/app.apk"
+const-string v3, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v3}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    result = classifier.classify(make_app(smali))
+    assert result.category is Category.POTENTIALLY_VULNERABLE
+    assert result.uses_sdcard
+
+
+def test_sdcard_without_write_permission_is_unknown(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v1, "/sdcard/dl/app.apk"
+const-string v3, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v3}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    result = classifier.classify(make_app(smali, permissions=()))
+    assert result.category is Category.UNKNOWN
+
+
+def test_secure_internal_installer_openfileoutput(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v1, "staged.apk"
+const/4 v2, 1
+invoke-virtual {{v0, v1, v2}}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+const-string v3, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v3}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    result = classifier.classify(make_app(smali))
+    assert result.category is Category.POTENTIALLY_SECURE
+    assert result.sets_world_readable
+
+
+def test_mode_private_is_not_world_readable(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v1, "staged.apk"
+const/4 v2, 0
+invoke-virtual {{v0, v1, v2}}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+const-string v3, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v3}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    result = classifier.classify(make_app(smali))
+    assert not result.sets_world_readable
+    assert result.category is Category.UNKNOWN
+
+
+def test_set_readable_true_not_owner_only(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const/4 v2, 1
+const/4 v3, 0
+invoke-virtual {{v1, v2, v3}}, Ljava/io/File;->setReadable(ZZ)Z
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    assert classifier.classify(make_app(smali)).sets_world_readable
+
+
+def test_set_readable_owner_only_rejected(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const/4 v2, 1
+const/4 v3, 1
+invoke-virtual {{v1, v2, v3}}, Ljava/io/File;->setReadable(ZZ)Z
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    assert not classifier.classify(make_app(smali)).sets_world_readable
+
+
+def test_chmod_644_detected(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v2, "chmod 644 /data/data/a/files/x.apk"
+invoke-virtual {{v1, v2}}, Ljava/lang/Runtime;->exec(Ljava/lang/String;)Ljava/lang/Process;
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    assert classifier.classify(make_app(smali)).sets_world_readable
+
+
+def test_chmod_600_not_world_readable(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v2, "chmod 600 /data/data/a/files/x.apk"
+invoke-virtual {{v1, v2}}, Ljava/lang/Runtime;->exec(Ljava/lang/String;)Ljava/lang/Process;
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    assert not classifier.classify(make_app(smali)).sets_world_readable
+
+
+def test_unresolved_mode_forces_unknown(classifier):
+    smali = f"""
+.class La;
+.method m()V
+const-string v1, "staged.apk"
+iget v2, v0, La;->mode:I
+invoke-virtual {{v0, v1, v2}}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    result = classifier.classify(make_app(smali))
+    assert result.unresolved_setter
+    assert result.category is Category.UNKNOWN
+
+
+def test_get_external_storage_directory_counts_as_sdcard(classifier):
+    smali = f"""
+.class La;
+.method m()V
+invoke-static {{}}, Landroid/os/Environment;->getExternalStorageDirectory()Ljava/io/File;
+const-string v5, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    assert classifier.classify(make_app(smali)).uses_sdcard
+
+
+# -- calibration against the paper's numbers (Tables II / III) --------------------
+
+
+def test_play_corpus_size_and_permission_count(play_corpus):
+    assert len(play_corpus) == 12750
+    assert sum(1 for a in play_corpus if a.has_permission(WRITE_EXTERNAL)) == 8721
+
+
+def test_play_classification_matches_table2(play_corpus, classifier):
+    results = classifier.classify_corpus(play_corpus)
+    assert results.installers == 1493
+    assert results.count(Category.POTENTIALLY_VULNERABLE) == 779
+    assert results.count(Category.POTENTIALLY_SECURE) == 152
+    assert results.count(Category.UNKNOWN) == 562
+
+
+def test_play_validation_has_no_false_positives(play_corpus, classifier):
+    results = classifier.classify_corpus(play_corpus)
+    precision = classifier.validate_against_truth(play_corpus, results)
+    assert precision["potentially-vulnerable"] == 1.0
+    assert precision["potentially-secure"] == 1.0
+
+
+def test_preinstalled_classification_matches_table3(preinstalled_corpus,
+                                                    classifier):
+    results = classifier.classify_corpus(preinstalled_corpus)
+    assert len(preinstalled_corpus) == 1613
+    assert results.installers == 238
+    assert results.count(Category.POTENTIALLY_VULNERABLE) == 102
+    assert results.count(Category.POTENTIALLY_SECURE) == 3
+    assert results.count(Category.UNKNOWN) == 133
+
+
+def test_preinstalled_instance_weighted_write_permission(preinstalled_corpus):
+    assert sum(a.instances for a in preinstalled_corpus) == 12050
+    write_instances = sum(
+        a.instances for a in preinstalled_corpus if a.has_permission(WRITE_EXTERNAL)
+    )
+    assert write_instances == 5864
+
+
+def test_secure_preinstalled_are_the_papers_three(preinstalled_corpus,
+                                                  classifier):
+    secure = [
+        app.package
+        for app in preinstalled_corpus
+        if classifier.classify(app).category is Category.POTENTIALLY_SECURE
+    ]
+    assert sorted(secure) == sorted(SECURE_PREINSTALLED_PACKAGES)
+
+
+def test_corpus_is_deterministic():
+    first = generate_play_corpus(seed=5)
+    second = generate_play_corpus(seed=5)
+    assert [a.package for a in first[:100]] == [a.package for a in second[:100]]
+    assert first[0].smali_text == second[0].smali_text
+
+
+def test_spec_totals_are_consistent():
+    spec = PlayCorpusSpec()
+    assert spec.installers == 1493
+    assert spec.redirecting == 10799
+    pre = PreinstalledCorpusSpec()
+    assert pre.installers == 238

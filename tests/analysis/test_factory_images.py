@@ -1,0 +1,121 @@
+"""Tests for the factory-image fleet generator."""
+
+import pytest
+
+from repro.analysis.factory_images import (
+    ALL_SPECS,
+    AMAZON_PKG,
+    DTIGNITE_PKG,
+    DTIGNITE_CARRIERS,
+    HUAWEI_STORE_PKG,
+    SPRINTZONE_PKG,
+    TOTAL_DISTINCT_APPS,
+    XIAOMI_STORE_PKG,
+    generate_fleet,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(seed=2016)
+
+
+def test_image_and_model_counts_match_paper(fleet):
+    by_vendor = {spec.vendor: fleet.by_vendor(spec.vendor) for spec in ALL_SPECS}
+    assert len(by_vendor["samsung"]) == 1239
+    assert len({i.model for i in by_vendor["samsung"]}) == 849
+    assert len(by_vendor["xiaomi"]) == 382
+    assert len({i.model for i in by_vendor["xiaomi"]}) == 149
+    assert len(by_vendor["huawei"]) == 234
+    assert len({i.model for i in by_vendor["huawei"]}) == 135
+
+
+def test_distinct_records_exactly_206674(fleet):
+    assert fleet.distinct_records() == TOTAL_DISTINCT_APPS
+
+
+def test_region_codes_and_countries(fleet):
+    assert len({image.region_code for image in fleet.images}) == 231
+    assert len({image.country for image in fleet.images}) == 79
+
+
+def test_platform_package_pools_match_paper(fleet):
+    assert len(fleet.distinct_platform_packages("samsung")) == 884
+    assert len(fleet.distinct_platform_packages("huawei")) == 301
+    assert len(fleet.distinct_platform_packages("xiaomi")) == 216
+
+
+def test_platform_signed_per_image_near_paper(fleet):
+    expectations = {"samsung": 142, "huawei": 68, "xiaomi": 84}
+    for vendor, expected in expectations.items():
+        images = fleet.by_vendor(vendor)
+        average = sum(
+            sum(1 for app in image.apps if app.platform_signed)
+            for image in images
+        ) / len(images)
+        assert abs(average - expected) < 4
+
+
+def test_install_packages_ratio_near_10_percent(fleet):
+    targets = {"samsung": 0.0845, "huawei": 0.1032, "xiaomi": 0.1187}
+    for vendor, target in targets.items():
+        images = fleet.by_vendor(vendor)
+        apps = sum(len(image.apps) for image in images)
+        privileged = sum(len(image.install_packages_apps()) for image in images)
+        assert privileged / apps == pytest.approx(target, abs=0.005)
+
+
+def test_privilege_count_doubles_over_period(fleet):
+    for spec in ALL_SPECS:
+        images = fleet.by_vendor(spec.vendor)
+        oldest = [i for i in images if i.year_index == 0 and not i.flagship]
+        newest = [i for i in images if i.year_index == 3 and not i.flagship]
+        avg_old = sum(len(i.install_packages_apps()) for i in oldest) / len(oldest)
+        avg_new = sum(len(i.install_packages_apps()) for i in newest) / len(newest)
+        assert avg_new >= 1.8 * avg_old
+
+
+def test_flagships_carry_25_to_31_privileged_apps(fleet):
+    flagships = [image for image in fleet.images if image.flagship]
+    assert flagships
+    for image in flagships:
+        count = len(image.install_packages_apps())
+        assert 25 <= count <= 31
+
+
+def test_carrier_installer_placement(fleet):
+    amazon_images = fleet.images_with_package(AMAZON_PKG)
+    assert amazon_images
+    assert all(image.carrier in ("verizon", "uscellular")
+               for image in amazon_images)
+    assert all(image.vendor == "samsung" for image in amazon_images)
+    dtignite_images = fleet.images_with_package(DTIGNITE_PKG)
+    assert len({image.carrier for image in dtignite_images}) >= 8
+    assert all(image.carrier in DTIGNITE_CARRIERS for image in dtignite_images)
+    assert all(image.vendor == "xiaomi"
+               for image in fleet.images_with_package(XIAOMI_STORE_PKG))
+    assert len(fleet.images_with_package(XIAOMI_STORE_PKG)) == 382
+    assert len(fleet.images_with_package(HUAWEI_STORE_PKG)) == 234
+    assert all(image.carrier == "sprint"
+               for image in fleet.images_with_package(SPRINTZONE_PKG))
+
+
+def test_carrier_installers_hold_install_packages(fleet):
+    for image in fleet.images_with_package(DTIGNITE_PKG)[:10]:
+        privileged = {app.package for app in image.install_packages_apps()}
+        assert DTIGNITE_PKG in privileged
+
+
+def test_per_image_app_counts(fleet):
+    for spec in ALL_SPECS:
+        for image in fleet.by_vendor(spec.vendor)[:20]:
+            assert len(image.apps) == spec.apps_per_image
+
+
+def test_fleet_is_deterministic():
+    first = generate_fleet(seed=3)
+    second = generate_fleet(seed=3)
+    assert first.distinct_records() == second.distinct_records()
+    assert [i.carrier for i in first.images[:50]] == [
+        i.carrier for i in second.images[:50]
+    ]

@@ -1,0 +1,90 @@
+"""Tests for the hardcoded-redirect scan (Table IV)."""
+
+import pytest
+
+from repro.analysis.corpus import (
+    CorpusApp,
+    GroundTruth,
+    MARKET_SCHEME,
+    PLAY_URL,
+    generate_play_corpus,
+)
+from repro.analysis.redirect_scan import scan_app, scan_corpus
+
+
+def make_app(smali):
+    return CorpusApp(
+        package="com.hand.crafted",
+        category="TOOLS",
+        truth=GroundTruth.NON_INSTALLER,
+        declared_permissions=frozenset(),
+        smali_text=smali,
+    )
+
+
+def test_scan_finds_play_url():
+    app = make_app(
+        '.class La;\n.method m()V\n'
+        f'const-string v1, "{PLAY_URL}com.target.app"\n.end method'
+    )
+    result = scan_app(app)
+    assert result.count == 1
+    assert result.targets == ("com.target.app",)
+    assert result.single_predictable_target
+
+
+def test_scan_finds_market_scheme():
+    app = make_app(
+        '.class La;\n.method m()V\n'
+        f'const-string v1, "{MARKET_SCHEME}com.x"\n.end method'
+    )
+    assert scan_app(app).count == 1
+
+
+def test_scan_ignores_other_urls():
+    app = make_app(
+        '.class La;\n.method m()V\n'
+        'const-string v1, "https://example.com/page"\n.end method'
+    )
+    assert scan_app(app).count == 0
+
+
+def test_scan_counts_multiple():
+    lines = [".class La;", ".method m()V"]
+    for index in range(5):
+        lines.append(f'const-string v{index}, "{PLAY_URL}com.t{index}"')
+    lines.append(".end method")
+    app = make_app("\n".join(lines))
+    result = scan_app(app)
+    assert result.count == 5
+    assert not result.single_predictable_target
+
+
+@pytest.fixture(scope="module")
+def study():
+    return scan_corpus(generate_play_corpus(seed=2016))
+
+
+def test_table_iv_buckets_match_paper(study):
+    buckets = study.table_iv_row()
+    assert buckets[1] == (723, pytest.approx(0.0567, abs=0.0005))
+    assert buckets[2][0] == 1405
+    assert buckets[4][0] == 2090
+    assert buckets[8][0] == 2337
+
+
+def test_redirecting_fraction_matches_847_percent(study):
+    assert study.apps_with_any() == 10799
+    assert study.apps_with_any() / study.corpus_size == pytest.approx(0.847, abs=0.001)
+
+
+def test_easy_targets_are_single_url_apps(study):
+    easy = study.easy_targets()
+    assert len(easy) == 723
+    assert all(result.count == 1 for result in easy)
+
+
+def test_single_url_targets_are_predictable(study):
+    """The one hardcoded target is a companion of the hosting app."""
+    sample = study.easy_targets()[:20]
+    assert all(result.targets[0].endswith(".companion") for result in sample)

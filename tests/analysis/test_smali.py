@@ -1,0 +1,130 @@
+"""Tests for the smali-like IR parser and def-use analysis."""
+
+import pytest
+
+from repro.errors import SmaliParseError
+from repro.analysis.smali import parse_program
+
+SAMPLE = """
+.class Lcom/example/Foo;
+.method install()V
+const-string v1, "/sdcard/app.apk"
+const/4 v2, 1
+move v3, v2
+invoke-virtual {v0, v1, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+.end method
+.method other()V
+const-string v5, "hello"
+.end method
+"""
+
+
+def test_parse_classes_and_methods():
+    program = parse_program(SAMPLE)
+    assert len(program.classes) == 1
+    assert program.classes[0].name == "Lcom/example/Foo;"
+    assert [m.name for m in program.classes[0].methods] == ["install()V", "other()V"]
+
+
+def test_string_constants_collected():
+    program = parse_program(SAMPLE)
+    assert "/sdcard/app.apk" in list(program.all_strings())
+    assert "hello" in list(program.all_strings())
+
+
+def test_contains_string():
+    program = parse_program(SAMPLE)
+    assert program.contains_string("/sdcard")
+    assert not program.contains_string("market://")
+
+
+def test_invoke_parsed_with_registers_and_name():
+    program = parse_program(SAMPLE)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert invoke.sources == ("v0", "v1", "v3")
+    assert invoke.invoked_name == "openFileOutput"
+
+
+def test_reaching_def_follows_move_chain():
+    program = parse_program(SAMPLE)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert method.resolve_argument(invoke, 2) == 1   # v3 <- v2 <- const 1
+    assert method.resolve_argument(invoke, 1) == "/sdcard/app.apk"
+
+
+def test_resolve_unresolvable_returns_none():
+    text = """
+.class La;
+.method m()V
+iget v2, v0, La;->mode:I
+invoke-virtual {v0, v1, v2}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+.end method
+"""
+    program = parse_program(text)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert method.resolve_argument(invoke, 2) is None  # field load dead-end
+    assert method.resolve_argument(invoke, 1) is None  # v1 never defined
+
+
+def test_resolve_out_of_range_argument():
+    program = parse_program(SAMPLE)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert method.resolve_argument(invoke, 9) is None
+
+
+def test_const_int_hex_parsing():
+    program = parse_program(
+        ".class La;\n.method m()V\nconst/high16 v1, 0x10\n.end method"
+    )
+    instruction = program.classes[0].methods[0].instructions[0]
+    assert instruction.literal == 16
+
+
+def test_comments_and_blank_lines_ignored():
+    program = parse_program(
+        ".class La;\n\n# comment\n.method m()V\nconst/4 v0, 1 # inline\n.end method"
+    )
+    assert len(program.classes[0].methods[0].instructions) == 1
+
+
+def test_instruction_outside_method_rejected():
+    with pytest.raises(SmaliParseError):
+        parse_program('.class La;\nconst/4 v0, 1')
+
+
+def test_method_outside_class_rejected():
+    with pytest.raises(SmaliParseError):
+        parse_program(".method m()V\n.end method")
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(SmaliParseError):
+        parse_program(".class La;\n.method m()V\nwobble v0\n.end method")
+
+
+def test_invoke_static_form():
+    program = parse_program(
+        '.class La;\n.method m()V\nconst-string v1, "u"\n'
+        "invoke-static {v1}, Lcom/h/Net;->get(Ljava/lang/String;)V\n.end method"
+    )
+    invoke = next(program.classes[0].methods[0].invokes())
+    assert invoke.invoked_name == "get"
+
+
+def test_latest_definition_wins():
+    text = """
+.class La;
+.method m()V
+const/4 v1, 0
+const/4 v1, 1
+invoke-virtual {v0, v2, v1}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+.end method
+"""
+    program = parse_program(text)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert method.resolve_argument(invoke, 2) == 1

@@ -1,0 +1,117 @@
+"""Tests for the Flowdroid-style baseline and its failure modes."""
+
+import pytest
+
+from repro.analysis.corpus import (
+    CorpusApp,
+    GroundTruth,
+    INSTALL_MARKER,
+    generate_play_corpus,
+)
+from repro.analysis.taint_baseline import (
+    TaintAnalysisBaseline,
+    TaintOutcome,
+    yield_rate,
+)
+
+
+def make_app(smali, package="com.sample.app"):
+    return CorpusApp(
+        package=package,
+        category="TOOLS",
+        truth=GroundTruth.NON_INSTALLER,
+        declared_permissions=frozenset(),
+        smali_text=smali,
+    )
+
+
+INSTALL_BLOCK = (
+    f'const-string v3, "{INSTALL_MARKER}"\n'
+    "invoke-virtual {v0, v4, v3}, Landroid/content/Intent;->"
+    "setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;"
+)
+
+
+@pytest.fixture
+def tool():
+    return TaintAnalysisBaseline(bug_rate=0.0)  # failure modes only
+
+
+def test_non_installer_skipped(tool):
+    app = make_app('.class La;\n.method m()V\nconst-string v1, "x"\n.end method')
+    assert tool.analyze(app).outcome is TaintOutcome.NOT_AN_INSTALLER
+
+
+def test_plain_installer_analyzed(tool):
+    app = make_app(
+        f'.class La;\n.method m()V\nconst-string v1, "/sdcard/a.apk"\n'
+        f"{INSTALL_BLOCK}\n.end method"
+    )
+    result = tool.analyze(app)
+    assert result.succeeded
+    assert result.uses_sdcard
+
+
+def test_reflection_kills_cfg(tool):
+    app = make_app(
+        '.class La;\n.method m()V\nconst-string v1, "com.x.Task"\n'
+        "invoke-static {v1}, Ljava/lang/Class;->forName(Ljava/lang/String;)"
+        "Ljava/lang/Class;\n"
+        f"{INSTALL_BLOCK}\n.end method"
+    )
+    assert tool.analyze(app).outcome is TaintOutcome.INCOMPLETE_CFG
+
+
+def test_handle_message_untracked(tool):
+    app = make_app(
+        ".class La;\n.method m()V\n"
+        "invoke-virtual {v0, v2}, Landroid/os/Handler;->"
+        "handleMessage(Landroid/os/Message;)V\n"
+        f"{INSTALL_BLOCK}\n.end method"
+    )
+    assert tool.analyze(app).outcome is TaintOutcome.HANDLER_UNTRACKED
+
+
+def test_tool_bugs_are_deterministic_per_app():
+    buggy_tool = TaintAnalysisBaseline(bug_rate=1.0)
+    app = make_app(
+        f'.class La;\n.method m()V\n{INSTALL_BLOCK}\n.end method'
+    )
+    first = buggy_tool.analyze(app)
+    second = buggy_tool.analyze(app)
+    assert first.outcome is TaintOutcome.TOOL_BUG
+    assert first.outcome == second.outcome
+
+
+def test_corpus_unknowns_defeat_the_baseline(tool):
+    """The generator's unknown-reflection apps kill the taint walk."""
+    corpus = generate_play_corpus(seed=2016)
+    reflective = [
+        app for app in corpus
+        if app.truth is GroundTruth.UNKNOWN_REFLECTION
+    ][:10]
+    for app in reflective:
+        assert tool.analyze(app).outcome in (
+            TaintOutcome.INCOMPLETE_CFG, TaintOutcome.HANDLER_UNTRACKED
+        )
+
+
+def test_yield_rate_math():
+    results = [
+        TaintAnalysisBaseline(bug_rate=0.0).analyze(make_app(
+            f'.class La;\n.method m()V\n{INSTALL_BLOCK}\n.end method',
+            package=f"com.app{i}",
+        ))
+        for i in range(4)
+    ]
+    assert yield_rate(results) == 1.0
+    assert yield_rate([]) == 0.0
+
+
+def test_realistic_bug_rate_loses_many_apps():
+    corpus = generate_play_corpus(seed=2016)
+    installers = [app for app in corpus if app.truth.is_installer][:200]
+    results = TaintAnalysisBaseline().analyze_sample(installers)
+    rate = yield_rate(results)
+    # The paper managed ~30%; our modelled tool lands in that region.
+    assert 0.1 < rate < 0.6

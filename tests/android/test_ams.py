@@ -1,0 +1,169 @@
+"""Tests for the ActivityManagerService: activities, foreground, broadcasts."""
+
+import pytest
+
+from repro.errors import ActivityNotFound
+from repro.android.ams import (
+    ActivityManagerService,
+    BroadcastEnvelope,
+    INTENT_DELIVERY_LATENCY_NS,
+)
+from repro.android.filesystem import Caller, SYSTEM_CALLER
+from repro.android.intent_firewall import IntentFirewall
+from repro.android.intents import FLAG_ACTIVITY_SINGLE_TOP, Intent
+from repro.android.proc import OOM_ADJ_BACKGROUND, OOM_ADJ_FOREGROUND, ProcFs
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+ALICE = Caller(uid=10001, package="com.alice")
+BOB = Caller(uid=10002, package="com.bob")
+
+
+@pytest.fixture
+def env():
+    kernel = Kernel()
+    procfs = ProcFs()
+    ams = ActivityManagerService(kernel, EventHub(kernel), IntentFirewall(), procfs)
+    return kernel, ams, procfs
+
+
+def test_start_activity_delivers_after_latency(env):
+    kernel, ams, procfs = env
+    received = []
+    ams.register_app("com.store", intent_handler=received.append)
+    ams.start_activity(ALICE, Intent(target_package="com.store"))
+    assert received == []
+    kernel.run()
+    assert len(received) == 1
+    assert kernel.clock.now_ns == INTENT_DELIVERY_LATENCY_NS
+
+
+def test_unknown_target_raises(env):
+    _kernel, ams, _procfs = env
+    with pytest.raises(ActivityNotFound):
+        ams.start_activity(ALICE, Intent(target_package="com.ghost"))
+
+
+def test_delivery_updates_foreground_and_oom_adj(env):
+    kernel, ams, procfs = env
+    ams.register_app("com.alice")
+    ams.register_app("com.store")
+    ams.bring_to_foreground("com.alice")
+    assert procfs.oom_adj_of("com.alice") == OOM_ADJ_FOREGROUND
+    ams.start_activity(ALICE, Intent(target_package="com.store"))
+    kernel.run()
+    assert ams.foreground_package == "com.store"
+    assert procfs.oom_adj_of("com.alice") == OOM_ADJ_BACKGROUND
+    assert procfs.oom_adj_of("com.store") == OOM_ADJ_FOREGROUND
+
+
+def test_intent_has_no_origin_by_default(env):
+    """The root cause of the redirect attack: recipient can't see sender."""
+    kernel, ams, _procfs = env
+    received = []
+    ams.register_app("com.store", intent_handler=received.append)
+    ams.start_activity(ALICE, Intent(target_package="com.store"))
+    kernel.run()
+    assert received[0].get_intent_origin() is None
+
+
+def test_activity_stack_pushes_frames(env):
+    kernel, ams, _procfs = env
+    ams.register_app("com.store")
+    ams.start_activity(ALICE, Intent(target_package="com.store",
+                                     target_activity="Page"))
+    kernel.run()
+    frame = ams.top_frame()
+    assert frame.package == "com.store"
+    assert frame.activity == "Page"
+
+
+def test_single_top_reuses_existing_activity(env):
+    kernel, ams, _procfs = env
+    ams.register_app("com.store")
+    first = Intent(target_package="com.store", target_activity="Page")
+    ams.start_activity(ALICE, first)
+    kernel.run()
+    second = Intent(target_package="com.store", target_activity="Page",
+                    flags=FLAG_ACTIVITY_SINGLE_TOP)
+    second.with_extra("show_package", "com.evil")
+    ams.start_activity(BOB, second)
+    kernel.run()
+    assert len(ams.stack) == 1  # onNewIntent, no new frame
+    assert ams.top_frame().intent.extras["show_package"] == "com.evil"
+
+
+def test_non_single_top_stacks_new_frame(env):
+    kernel, ams, _procfs = env
+    ams.register_app("com.store")
+    ams.start_activity(ALICE, Intent(target_package="com.store",
+                                     target_activity="Page"))
+    kernel.run()
+    ams.start_activity(BOB, Intent(target_package="com.store",
+                                   target_activity="Page"))
+    kernel.run()
+    assert len(ams.stack) == 2
+
+
+def test_firewall_blocks_delivery(env):
+    kernel, ams, _procfs = env
+    from repro.android.intent_firewall import InspectionResult
+    ams.firewall.add_inspector(lambda record: InspectionResult(allow=False))
+    received = []
+    ams.register_app("com.store", intent_handler=received.append)
+    allowed = ams.start_activity(ALICE, Intent(target_package="com.store"))
+    kernel.run()
+    assert not allowed
+    assert received == []
+
+
+def test_broadcast_reaches_registered_receiver(env):
+    kernel, ams, _procfs = env
+    seen = []
+    ams.register_receiver("com.store", "com.store.PUSH", seen.append)
+    count = ams.send_broadcast(ALICE, "com.store.PUSH", {"k": "v"})
+    kernel.run()
+    assert count == 1
+    envelope = seen[0]
+    assert isinstance(envelope, BroadcastEnvelope)
+    assert envelope.extras == {"k": "v"}
+    assert envelope.sender_package == "com.alice"
+
+
+def test_broadcast_permission_guard(env):
+    kernel, ams, _procfs = env
+    seen = []
+    ams.register_receiver("com.store", "com.store.PUSH", seen.append,
+                          required_permission="com.store.permission.PUSH")
+    assert ams.send_broadcast(ALICE, "com.store.PUSH") == 0
+    privileged = Caller(uid=10003, package="com.cloud",
+                        permissions=frozenset({"com.store.permission.PUSH"}))
+    assert ams.send_broadcast(privileged, "com.store.PUSH") == 1
+    kernel.run()
+    assert len(seen) == 1
+
+
+def test_system_sender_passes_permission_guard(env):
+    kernel, ams, _procfs = env
+    seen = []
+    ams.register_receiver("com.store", "a", seen.append,
+                          required_permission="com.perm")
+    assert ams.send_broadcast(SYSTEM_CALLER, "a") == 1
+
+
+def test_unexported_receiver_only_own_package(env):
+    kernel, ams, _procfs = env
+    seen = []
+    ams.register_receiver("com.store", "a", seen.append, exported=False)
+    assert ams.send_broadcast(ALICE, "a") == 0
+    store_caller = Caller(uid=10009, package="com.store")
+    assert ams.send_broadcast(store_caller, "a") == 1
+
+
+def test_broadcast_action_filtering(env):
+    kernel, ams, _procfs = env
+    seen = []
+    ams.register_receiver("com.store", "action.A", seen.append)
+    ams.send_broadcast(ALICE, "action.B")
+    kernel.run()
+    assert seen == []

@@ -1,0 +1,156 @@
+"""Tests for the APK model: serialization, verification, repackaging."""
+
+import pytest
+
+from repro.android.apk import (
+    Apk,
+    ApkBuilder,
+    AndroidManifest,
+    EOCD_MAGIC,
+    MalformedApk,
+    PermissionSpec,
+    file_is_complete,
+    hash_bytes,
+    repackage,
+)
+from repro.android.signing import SigningKey
+
+KEY = SigningKey("dev", "k1")
+ATTACKER_KEY = SigningKey("attacker", "k0")
+
+
+def build_sample(version=1):
+    return (
+        ApkBuilder("com.example.app")
+        .version(version)
+        .label("Example")
+        .icon("icon:example")
+        .uses_permission("android.permission.INTERNET")
+        .defines_permission("com.example.PERM", level="dangerous", group="g")
+        .payload(b"<dex code>")
+        .build(KEY)
+    )
+
+
+def test_builder_sets_fields():
+    apk = build_sample(version=7)
+    assert apk.package == "com.example.app"
+    assert apk.version_code == 7
+    assert apk.manifest.label == "Example"
+    assert apk.manifest.uses_permissions == ("android.permission.INTERNET",)
+    assert apk.manifest.defines_permissions[0].name == "com.example.PERM"
+
+
+def test_serialization_roundtrip():
+    apk = build_sample()
+    restored = Apk.from_bytes(apk.to_bytes())
+    assert restored.package == apk.package
+    assert restored.payload == apk.payload
+    assert restored.signature == apk.signature
+    assert restored.manifest == apk.manifest
+
+
+def test_signature_verifies():
+    assert build_sample().verify_signature()
+
+
+def test_tampered_payload_fails_verification():
+    apk = build_sample()
+    tampered = Apk(manifest=apk.manifest, payload=b"<evil>", signature=apk.signature)
+    assert not tampered.verify_signature()
+
+
+def test_container_ends_with_eocd():
+    assert build_sample().to_bytes().endswith(EOCD_MAGIC)
+
+
+def test_file_is_complete_detects_eocd():
+    data = build_sample().to_bytes()
+    assert file_is_complete(data)
+    assert not file_is_complete(data[:-1])
+    assert not file_is_complete(b"garbage" + EOCD_MAGIC[:3])
+
+
+def test_truncated_container_rejected():
+    data = build_sample().to_bytes()
+    with pytest.raises(MalformedApk):
+        Apk.from_bytes(data[: len(data) // 2])
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(MalformedApk):
+        Apk.from_bytes(b"ZIP9" + build_sample().to_bytes()[4:])
+
+
+def test_trailing_garbage_rejected():
+    data = build_sample().to_bytes()
+    corrupted = data[:-len(EOCD_MAGIC)] + b"xx" + EOCD_MAGIC
+    with pytest.raises(MalformedApk):
+        Apk.from_bytes(corrupted)
+
+
+def test_file_hash_changes_with_content():
+    assert build_sample(1).file_hash() != build_sample(2).file_hash()
+
+
+def test_manifest_checksum_is_stable():
+    assert build_sample().manifest.checksum() == build_sample().manifest.checksum()
+
+
+def test_manifest_roundtrip():
+    manifest = build_sample().manifest
+    assert AndroidManifest.from_bytes(manifest.to_bytes()) == manifest
+
+
+def test_payload_size_builder():
+    apk = ApkBuilder("com.x").payload_size(10_000).build(KEY)
+    assert len(apk.payload) == 10_000
+
+
+def test_payload_size_is_deterministic():
+    first = ApkBuilder("com.x").payload_size(512).build(KEY)
+    second = ApkBuilder("com.x").payload_size(512).build(KEY)
+    assert first.payload == second.payload
+
+
+def test_permission_spec_to_definition():
+    spec = PermissionSpec("com.p", level="signature")
+    definition = spec.to_definition("com.definer")
+    assert definition.defined_by == "com.definer"
+    assert definition.level.value == "signature"
+
+
+# -- repackaging: the manifest-verification bypass -----------------------------
+
+
+def test_repackage_keeps_manifest_checksum():
+    original = build_sample()
+    twin = repackage(original, ATTACKER_KEY)
+    assert twin.manifest.checksum() == original.manifest.checksum()
+
+
+def test_repackage_swaps_payload_and_signer():
+    original = build_sample()
+    twin = repackage(original, ATTACKER_KEY, payload=b"<malware>")
+    assert twin.payload == b"<malware>"
+    assert twin.certificate != original.certificate
+    assert twin.verify_signature()  # validly signed — just by the wrong party
+
+
+def test_repackage_keeps_label_and_icon_for_pia_phishing():
+    original = build_sample()
+    twin = repackage(original, ATTACKER_KEY)
+    assert twin.manifest.label == "Example"
+    assert twin.manifest.icon == "icon:example"
+
+
+def test_repackage_can_drop_label():
+    original = build_sample()
+    twin = repackage(original, ATTACKER_KEY, keep_label_and_icon=False)
+    assert twin.manifest.label == "attacker"
+    assert twin.manifest.checksum() != original.manifest.checksum()
+
+
+def test_hash_bytes_matches_file_hash():
+    apk = build_sample()
+    assert hash_bytes(apk.to_bytes()) == apk.file_hash()

@@ -1,0 +1,117 @@
+"""Tests for FileObserver event delivery."""
+
+import pytest
+
+from repro.android.fileobserver import FileObserver
+from repro.android.filesystem import Caller, FileEventType, Filesystem
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+APP = Caller(uid=10001, package="com.app")
+
+
+@pytest.fixture
+def env():
+    kernel = Kernel()
+    hub = EventHub(kernel)
+    fs = Filesystem(hub, kernel.clock)
+    fs.makedirs("/watched", APP)
+    return kernel, hub, fs
+
+
+def test_events_delivered_while_watching(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    observer.start_watching()
+    fs.write_bytes("/watched/f.apk", APP, b"1")
+    kernel.run()
+    types = [event.event_type for event in observer.history]
+    assert FileEventType.CREATE in types
+    assert FileEventType.CLOSE_WRITE in types
+
+
+def test_no_events_before_start(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    fs.write_bytes("/watched/f", APP, b"1")
+    kernel.run()
+    assert observer.history == []
+
+
+def test_stop_watching_stops_delivery(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    observer.start_watching()
+    observer.stop_watching()
+    fs.write_bytes("/watched/f", APP, b"1")
+    kernel.run()
+    assert observer.history == []
+
+
+def test_mask_filters_event_types(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched",
+                            mask=[FileEventType.CLOSE_NOWRITE])
+    observer.start_watching()
+    fs.write_bytes("/watched/f", APP, b"1")
+    fs.read_bytes("/watched/f", APP)
+    kernel.run()
+    assert [event.event_type for event in observer.history] == [
+        FileEventType.CLOSE_NOWRITE
+    ]
+
+
+def test_non_recursive_like_android(env):
+    kernel, hub, fs = env
+    fs.makedirs("/watched/sub", APP)
+    observer = FileObserver(hub, "/watched")
+    observer.start_watching()
+    fs.write_bytes("/watched/sub/f", APP, b"1")
+    kernel.run()
+    assert observer.history == []
+
+
+def test_listener_callbacks_fire(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    seen = []
+    observer.on_event(seen.append)
+    observer.start_watching()
+    fs.write_bytes("/watched/f", APP, b"1")
+    kernel.run()
+    assert seen == observer.history
+
+
+def test_count_helper(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    observer.start_watching()
+    fs.write_bytes("/watched/a.apk", APP, b"1")
+    fs.read_bytes("/watched/a.apk", APP)
+    fs.read_bytes("/watched/a.apk", APP)
+    kernel.run()
+    assert observer.count(FileEventType.CLOSE_NOWRITE) == 2
+    assert observer.count(FileEventType.CLOSE_NOWRITE, name="a.apk") == 2
+    assert observer.count(FileEventType.CLOSE_NOWRITE, name="b.apk") == 0
+
+
+def test_start_watching_idempotent(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched")
+    observer.start_watching()
+    observer.start_watching()
+    fs.write_bytes("/watched/f", APP, b"1")
+    kernel.run()
+    close_writes = observer.count(FileEventType.CLOSE_WRITE)
+    assert close_writes == 1  # not double-subscribed
+
+
+def test_requires_no_permissions():
+    """Any app can watch any directory — the paper's attack premise."""
+    kernel = Kernel()
+    hub = EventHub(kernel)
+    fs = Filesystem(hub, kernel.clock)
+    fs.makedirs("/sdcard/DTIgnite", APP)
+    observer = FileObserver(hub, "/sdcard/DTIgnite")
+    observer.start_watching()
+    assert observer.watching

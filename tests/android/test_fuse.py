@@ -1,0 +1,85 @@
+"""Tests for the stock FUSE daemon policy over /sdcard."""
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.android.filesystem import Caller, Filesystem, SYSTEM_CALLER
+from repro.android.fuse import (
+    FuseDaemon,
+    READ_EXTERNAL_STORAGE,
+    WRITE_EXTERNAL_STORAGE,
+)
+from repro.android.storage import GB, StorageVolume
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+WRITER = Caller(uid=10001, package="com.writer",
+                permissions=frozenset({WRITE_EXTERNAL_STORAGE}))
+READER = Caller(uid=10002, package="com.reader",
+                permissions=frozenset({READ_EXTERNAL_STORAGE}))
+NOBODY = Caller(uid=10003, package="com.nobody")
+
+
+@pytest.fixture
+def fs():
+    kernel = Kernel()
+    filesystem = Filesystem(EventHub(kernel), kernel.clock)
+    filesystem.mount("/sdcard", StorageVolume("external", GB), FuseDaemon())
+    return filesystem
+
+
+def test_write_requires_write_permission(fs):
+    with pytest.raises(AccessDenied):
+        fs.write_bytes("/sdcard/f", NOBODY, b"x")
+    fs.write_bytes("/sdcard/f", WRITER, b"x")
+
+
+def test_read_requires_either_storage_permission(fs):
+    fs.write_bytes("/sdcard/f", WRITER, b"x")
+    assert fs.read_bytes("/sdcard/f", READER) == b"x"
+    assert fs.read_bytes("/sdcard/f", WRITER) == b"x"
+    with pytest.raises(AccessDenied):
+        fs.read_bytes("/sdcard/f", NOBODY)
+
+
+def test_dac_is_ignored_on_external_storage(fs):
+    """The paper's root cause: any WRITE holder may overwrite any file."""
+    other = Caller(uid=10009, package="com.other",
+                   permissions=frozenset({WRITE_EXTERNAL_STORAGE}))
+    fs.write_bytes("/sdcard/victim.apk", WRITER, b"genuine")
+    fs.chmod("/sdcard/victim.apk", 0o600, WRITER)
+    fs.write_bytes("/sdcard/victim.apk", other, b"malicious")
+    assert fs.read_bytes("/sdcard/victim.apk", WRITER) == b"malicious"
+
+
+def test_stock_mode_synthesized_on_create(fs):
+    fs.write_bytes("/sdcard/f", WRITER, b"x", mode=0o600)
+    assert fs.stat("/sdcard/f").mode == 0o664  # daemon overrides the mode
+
+
+def test_delete_requires_write_permission(fs):
+    fs.write_bytes("/sdcard/f", WRITER, b"x")
+    with pytest.raises(AccessDenied):
+        fs.unlink("/sdcard/f", READER)
+    fs.unlink("/sdcard/f", WRITER)
+
+
+def test_rename_requires_write_permission(fs):
+    fs.write_bytes("/sdcard/f", WRITER, b"x")
+    with pytest.raises(AccessDenied):
+        fs.rename("/sdcard/f", "/sdcard/g", READER)
+    fs.rename("/sdcard/f", "/sdcard/g", WRITER)
+
+
+def test_any_write_holder_may_delete_others_files(fs):
+    other = Caller(uid=10010, package="com.other",
+                   permissions=frozenset({WRITE_EXTERNAL_STORAGE}))
+    fs.write_bytes("/sdcard/f", WRITER, b"x")
+    fs.unlink("/sdcard/f", other)
+    assert not fs.exists("/sdcard/f")
+
+
+def test_system_bypasses_permission_checks(fs):
+    fs.write_bytes("/sdcard/f", SYSTEM_CALLER, b"x")
+    assert fs.read_bytes("/sdcard/f", SYSTEM_CALLER) == b"x"
+    fs.unlink("/sdcard/f", SYSTEM_CALLER)

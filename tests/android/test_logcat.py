@@ -1,0 +1,64 @@
+"""Tests for the logcat model and its version gate."""
+
+import pytest
+
+from repro.errors import SecurityException
+from repro.android.filesystem import Caller, SYSTEM_CALLER
+from repro.android.logcat import Logcat, READ_LOGS
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+HOLDER = Caller(uid=10001, package="com.reader",
+                permissions=frozenset({READ_LOGS}))
+NOBODY = Caller(uid=10002, package="com.nobody")
+
+
+def make_logcat(version):
+    kernel = Kernel()
+    return kernel, Logcat(EventHub(kernel), kernel.clock, version)
+
+
+def test_entries_recorded_with_time():
+    kernel, logcat = make_logcat("4.0.3")
+    kernel.clock.advance_to(123)
+    logcat.log("Tag", "message")
+    assert logcat.entries[0].time_ns == 123
+    assert logcat.entries[0].tag == "Tag"
+
+
+def test_readable_by_apps_by_version():
+    assert make_logcat("4.0.3")[1].readable_by_apps()
+    assert make_logcat("4.0")[1].readable_by_apps()
+    assert not make_logcat("4.1")[1].readable_by_apps()
+    assert not make_logcat("5.1")[1].readable_by_apps()
+    assert not make_logcat("6.0")[1].readable_by_apps()
+
+
+def test_subscribe_on_old_build_with_permission():
+    kernel, logcat = make_logcat("4.0.3")
+    seen = []
+    logcat.subscribe(HOLDER, seen.append)
+    logcat.log("T", "m")
+    kernel.run()
+    assert len(seen) == 1
+
+
+def test_subscribe_without_permission_rejected():
+    _kernel, logcat = make_logcat("4.0.3")
+    with pytest.raises(SecurityException):
+        logcat.subscribe(NOBODY, lambda entry: None)
+
+
+def test_subscribe_on_new_build_rejected_even_with_permission():
+    _kernel, logcat = make_logcat("4.4")
+    with pytest.raises(SecurityException, match="restricted to system"):
+        logcat.subscribe(HOLDER, lambda entry: None)
+
+
+def test_system_reads_any_build():
+    kernel, logcat = make_logcat("6.0")
+    seen = []
+    logcat.subscribe(SYSTEM_CALLER, seen.append)
+    logcat.log("T", "m")
+    kernel.run()
+    assert seen

@@ -1,0 +1,55 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.errors import DownloadError
+from repro.android.network import Network
+
+
+def test_host_and_fetch():
+    network = Network()
+    network.host("http://x/file", b"payload")
+    assert network.fetch("http://x/file") == b"payload"
+
+
+def test_fetch_missing_raises_404():
+    with pytest.raises(DownloadError, match="404"):
+        Network().fetch("http://missing")
+
+
+def test_callable_provider_evaluated_per_fetch():
+    network = Network()
+    counter = {"n": 0}
+
+    def provider():
+        counter["n"] += 1
+        return f"v{counter['n']}".encode()
+
+    network.host("http://x", provider)
+    assert network.fetch("http://x") == b"v1"
+    assert network.fetch("http://x") == b"v2"
+
+
+def test_exists():
+    network = Network()
+    network.host("http://x", b"1")
+    assert network.exists("http://x")
+    assert not network.exists("http://y")
+
+
+def test_transfer_time_scales_with_size():
+    network = Network(bandwidth_bytes_per_sec=1_000_000, latency_ns=0)
+    assert network.transfer_time_ns(1_000_000) == 1_000_000_000
+    assert network.transfer_time_ns(500_000) == 500_000_000
+
+
+def test_latency_added_to_transfer():
+    network = Network(bandwidth_bytes_per_sec=1_000_000, latency_ns=5_000)
+    assert network.transfer_time_ns(0) == 5_000
+
+
+def test_rehosting_replaces_content():
+    network = Network()
+    network.host("http://x", b"old")
+    network.host("http://x", b"new")
+    assert network.fetch("http://x") == b"new"

@@ -1,0 +1,100 @@
+"""Tests for the PackageInstallerActivity consent flow."""
+
+import pytest
+
+from repro.errors import InstallAbortedError, InstallVerificationError
+from repro.android.apk import ApkBuilder, repackage
+from repro.android.device import nexus5
+from repro.android.pia import ConsentUser
+from repro.android.signing import SigningKey
+from repro.android.system import AndroidSystem
+from repro.sim.clock import millis
+
+DEV = SigningKey("dev", "k1")
+EVIL = SigningKey("evil", "k0")
+
+
+@pytest.fixture
+def system():
+    return AndroidSystem(nexus5())
+
+
+def stage(system, apk, path="/sdcard/stage.apk"):
+    system.fs.write_bytes(path, system.system_caller, apk.to_bytes())
+    return path
+
+
+def build(label="MyBank"):
+    return ApkBuilder("com.bank.app").label(label).icon("icon:bank").payload(
+        b"<bank>"
+    ).build(DEV)
+
+
+def test_consented_install_succeeds(system):
+    path = stage(system, build())
+    user = ConsentUser()
+    package = system.run_process(
+        system.pia.install(path, system.system_caller, user)
+    )
+    assert package.package == "com.bank.app"
+    assert system.pms.is_installed("com.bank.app")
+
+
+def test_user_decline_aborts(system):
+    path = stage(system, build())
+    user = ConsentUser(decide=lambda prompt: False)
+    with pytest.raises(InstallAbortedError):
+        system.run_process(system.pia.install(path, system.system_caller, user))
+    assert not system.pms.is_installed("com.bank.app")
+
+
+def test_prompt_shows_label_icon_permissions(system):
+    path = stage(system, build())
+    user = ConsentUser()
+    system.run_process(system.pia.install(path, system.system_caller, user))
+    prompt = user.prompts_seen[0]
+    assert prompt.label == "MyBank"
+    assert prompt.icon == "icon:bank"
+    assert prompt.package == "com.bank.app"
+
+
+def test_dialog_takes_simulated_time(system):
+    path = stage(system, build())
+    user = ConsentUser(think_time_ns=millis(2000))
+    start = system.now_ns
+    system.run_process(system.pia.install(path, system.system_caller, user))
+    assert system.now_ns - start >= millis(2000)
+
+
+def test_manifest_change_during_dialog_detected(system):
+    """The PIA's defense works against *manifest* changes..."""
+    path = stage(system, build())
+    different = ApkBuilder("com.bank.app").label("Different").payload(b"x").build(DEV)
+
+    def swap_during_dialog():
+        system.fs.write_bytes(path, system.system_caller, different.to_bytes())
+
+    system.kernel.call_later(millis(500), swap_during_dialog)
+    with pytest.raises(InstallVerificationError):
+        system.run_process(
+            system.pia.install(path, system.system_caller, ConsentUser())
+        )
+
+
+def test_repackaged_swap_during_dialog_not_detected(system):
+    """...but not against the paper's repackaging bypass (Step 4)."""
+    genuine = build()
+    path = stage(system, genuine)
+    twin = repackage(genuine, EVIL, payload=b"<phishing bank>")
+
+    def swap_during_dialog():
+        system.fs.write_bytes(path, system.system_caller, twin.to_bytes())
+
+    system.kernel.call_later(millis(500), swap_during_dialog)
+    package = system.run_process(
+        system.pia.install(path, system.system_caller, ConsentUser())
+    )
+    assert package.payload == b"<phishing bank>"
+    assert package.certificate.owner == "evil"
+    # The user approved a dialog showing the genuine label and icon.
+    assert system.pia.prompts[0].label == "MyBank"

@@ -1,0 +1,60 @@
+"""Tests for the /proc oom_adj side channel."""
+
+import pytest
+
+from repro.errors import AndroidError
+from repro.android.proc import (
+    OOM_ADJ_BACKGROUND,
+    OOM_ADJ_FOREGROUND,
+    ProcFs,
+)
+
+
+def test_register_assigns_stable_pid():
+    procfs = ProcFs()
+    pid = procfs.register("com.app")
+    assert procfs.register("com.app") == pid
+    assert procfs.pid_of("com.app") == pid
+
+
+def test_pids_are_distinct():
+    procfs = ProcFs()
+    assert procfs.register("com.a") != procfs.register("com.b")
+
+
+def test_oom_adj_reflects_foreground():
+    procfs = ProcFs()
+    pid = procfs.register("com.app")
+    assert procfs.oom_adj(pid) == OOM_ADJ_BACKGROUND
+    procfs.set_foreground("com.app")
+    assert procfs.oom_adj(pid) == OOM_ADJ_FOREGROUND
+    procfs.set_foreground("com.other-thing")
+    assert procfs.oom_adj(pid) == OOM_ADJ_BACKGROUND
+
+
+def test_oom_adj_of_by_package():
+    procfs = ProcFs()
+    procfs.register("com.app")
+    procfs.set_foreground("com.app")
+    assert procfs.oom_adj_of("com.app") == OOM_ADJ_FOREGROUND
+
+
+def test_unknown_pid_raises():
+    procfs = ProcFs()
+    with pytest.raises(AndroidError):
+        procfs.oom_adj(9999)
+
+
+def test_unknown_package_raises():
+    procfs = ProcFs()
+    with pytest.raises(AndroidError):
+        procfs.pid_of("com.ghost")
+
+
+def test_side_channel_needs_no_permission():
+    """Any process may read any other's oom_adj — the attack premise."""
+    procfs = ProcFs()
+    victim_pid = procfs.register("com.facebook.katana")
+    procfs.register("com.fun.flashlight")
+    # The attacker just reads the victim's value directly.
+    assert procfs.oom_adj(victim_pid) in (OOM_ADJ_FOREGROUND, OOM_ADJ_BACKGROUND)

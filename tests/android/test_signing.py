@@ -1,0 +1,50 @@
+"""Tests for signing keys, certificates and signatures."""
+
+from repro.android.signing import Certificate, Signature, SigningKey, platform_key
+
+
+def test_sign_and_verify_roundtrip():
+    key = SigningKey("dev", "k1")
+    signature = key.sign(b"content")
+    assert signature.matches(b"content")
+
+
+def test_signature_rejects_tampered_content():
+    key = SigningKey("dev", "k1")
+    signature = key.sign(b"content")
+    assert not signature.matches(b"contenT")
+
+
+def test_different_keys_different_certificates():
+    assert SigningKey("a", "k").certificate != SigningKey("b", "k").certificate
+    assert SigningKey("a", "k1").certificate != SigningKey("a", "k2").certificate
+
+
+def test_same_key_parameters_reproduce_certificate():
+    assert SigningKey("dev", "k1").certificate == SigningKey("dev", "k1").certificate
+
+
+def test_forged_signature_with_wrong_cert_fails():
+    honest = SigningKey("dev", "k1")
+    attacker = SigningKey("evil", "k1")
+    forged = Signature(certificate=honest.certificate,
+                       value=attacker.sign(b"content").value)
+    assert not forged.matches(b"content")
+
+
+def test_platform_key_is_single_per_vendor():
+    """One platform key per vendor — the paper's Section IV-B finding."""
+    assert platform_key("samsung").certificate == platform_key("samsung").certificate
+    assert platform_key("samsung").certificate != platform_key("huawei").certificate
+
+
+def test_certificate_str_shows_owner():
+    assert "dev" in str(SigningKey("dev", "k1").certificate)
+
+
+def test_signature_binds_certificate():
+    key_a = SigningKey("a", "k")
+    key_b = SigningKey("b", "k")
+    sig_a = key_a.sign(b"x")
+    assert sig_a.certificate.owner == "a"
+    assert key_b.sign(b"x").value != sig_a.value

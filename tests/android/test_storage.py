@@ -1,0 +1,143 @@
+"""Tests for volumes and the internal-storage app-sandbox policy."""
+
+import pytest
+
+from repro.errors import AccessDenied, StorageFull
+from repro.android.filesystem import Caller, Filesystem, SYSTEM_CALLER, SYSTEM_UID
+from repro.android.storage import (
+    GB,
+    InternalStoragePolicy,
+    MB,
+    StorageLayout,
+    StorageVolume,
+)
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+ALICE = Caller(uid=10001, package="com.alice")
+BOB = Caller(uid=10002, package="com.bob")
+PMS_READER = Caller(uid=SYSTEM_UID, package="com.android.server.pm")
+
+
+@pytest.fixture
+def fs():
+    kernel = Kernel()
+    filesystem = Filesystem(EventHub(kernel), kernel.clock)
+    layout = StorageLayout()
+    filesystem.mount("/data", StorageVolume("internal", 1 * GB),
+                     InternalStoragePolicy(layout))
+    filesystem.makedirs("/data/data/com.alice", SYSTEM_CALLER, mode=0o700)
+    filesystem.chown("/data/data/com.alice", ALICE.uid, SYSTEM_CALLER)
+    filesystem.makedirs("/data/data/com.bob", SYSTEM_CALLER, mode=0o700)
+    filesystem.chown("/data/data/com.bob", BOB.uid, SYSTEM_CALLER)
+    return filesystem
+
+
+# -- StorageVolume -------------------------------------------------------------
+
+
+def test_volume_charge_and_release():
+    volume = StorageVolume("v", 100)
+    assert volume.charge(60)
+    assert volume.free_bytes == 40
+    assert not volume.charge(50)
+    assert volume.charge(-60)
+    assert volume.free_bytes == 100
+
+
+def test_volume_never_goes_negative():
+    volume = StorageVolume("v", 100)
+    volume.charge(-50)
+    assert volume.used_bytes == 0
+
+
+def test_volume_rejects_overfull_start():
+    with pytest.raises(ValueError):
+        StorageVolume("v", 10, used_bytes=20)
+
+
+def test_can_fit():
+    volume = StorageVolume("v", 100, used_bytes=90)
+    assert volume.can_fit(10)
+    assert not volume.can_fit(11)
+
+
+def test_size_constants():
+    assert GB == 1024 * MB
+
+
+# -- StorageLayout ---------------------------------------------------------------
+
+
+def test_app_private_dir():
+    layout = StorageLayout()
+    assert layout.app_private_dir("com.x") == "/data/data/com.x"
+
+
+# -- InternalStoragePolicy ---------------------------------------------------------
+
+
+def test_owner_reads_and_writes_own_sandbox(fs):
+    fs.write_bytes("/data/data/com.alice/f", ALICE, b"secret")
+    assert fs.read_bytes("/data/data/com.alice/f", ALICE) == b"secret"
+
+
+def test_other_app_cannot_read_private_file(fs):
+    fs.write_bytes("/data/data/com.alice/f", ALICE, b"secret")
+    with pytest.raises(AccessDenied):
+        fs.read_bytes("/data/data/com.alice/f", BOB)
+
+
+def test_other_app_cannot_write_into_foreign_sandbox(fs):
+    with pytest.raises(AccessDenied):
+        fs.write_bytes("/data/data/com.alice/g", BOB, b"x")
+
+
+def test_world_readable_file_is_readable_by_others(fs):
+    fs.write_bytes("/data/data/com.alice/staged.apk", ALICE, b"apk", mode=0o644)
+    assert fs.read_bytes("/data/data/com.alice/staged.apk", BOB) == b"apk"
+
+
+def test_pms_reader_needs_world_readable():
+    """The paper's Section II observation: PMS cannot read a private APK."""
+    kernel = Kernel()
+    fs = Filesystem(EventHub(kernel), kernel.clock)
+    layout = StorageLayout()
+    fs.mount("/data", StorageVolume("internal", GB), InternalStoragePolicy(layout))
+    fs.makedirs("/data/data/com.alice", SYSTEM_CALLER, mode=0o700)
+    fs.chown("/data/data/com.alice", ALICE.uid, SYSTEM_CALLER)
+    fs.write_bytes("/data/data/com.alice/private.apk", ALICE, b"apk", mode=0o600)
+    with pytest.raises(AccessDenied):
+        fs.read_bytes("/data/data/com.alice/private.apk", PMS_READER)
+    fs.chmod("/data/data/com.alice/private.apk", 0o644, ALICE)
+    assert fs.read_bytes("/data/data/com.alice/private.apk", PMS_READER) == b"apk"
+
+
+def test_true_system_caller_bypasses_sandbox(fs):
+    fs.write_bytes("/data/data/com.alice/f", ALICE, b"secret", mode=0o600)
+    assert fs.read_bytes("/data/data/com.alice/f", SYSTEM_CALLER) == b"secret"
+
+
+def test_non_sandbox_area_is_system_only(fs):
+    with pytest.raises(AccessDenied):
+        fs.write_bytes("/data/system.conf", ALICE, b"x")
+    fs.write_bytes("/data/system.conf", SYSTEM_CALLER, b"x")
+
+
+def test_delete_requires_sandbox_ownership(fs):
+    fs.write_bytes("/data/data/com.alice/f", ALICE, b"1", mode=0o644)
+    with pytest.raises(AccessDenied):
+        fs.unlink("/data/data/com.alice/f", BOB)
+    fs.unlink("/data/data/com.alice/f", ALICE)
+
+
+def test_rename_within_sandbox_allowed(fs):
+    fs.write_bytes("/data/data/com.alice/a", ALICE, b"1")
+    fs.rename("/data/data/com.alice/a", "/data/data/com.alice/b", ALICE)
+    assert fs.exists("/data/data/com.alice/b")
+
+
+def test_rename_out_of_foreign_sandbox_rejected(fs):
+    fs.write_bytes("/data/data/com.alice/a", ALICE, b"1", mode=0o644)
+    with pytest.raises(AccessDenied):
+        fs.rename("/data/data/com.alice/a", "/data/data/com.bob/a", BOB)

@@ -1,0 +1,77 @@
+"""Tests for the attacker base machinery."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.permissions import (
+    READ_EXTERNAL_STORAGE,
+    WRITE_EXTERNAL_STORAGE,
+)
+from repro.attacks.base import (
+    ATTACKER_PAYLOAD,
+    MaliciousApp,
+    StoreFingerprint,
+    fingerprint_for,
+)
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller, DTIgniteInstaller, GooglePlayInstaller
+from repro.sim.clock import millis
+
+
+def test_attacker_apk_looks_innocuous():
+    apk = MaliciousApp.build_apk()
+    assert apk.manifest.label == "Fun Flashlight"
+    assert READ_EXTERNAL_STORAGE in apk.manifest.uses_permissions
+    assert "android.permission.INSTALL_PACKAGES" not in apk.manifest.uses_permissions
+
+
+def test_silent_sdcard_permission_acquisition():
+    """Section III-A: WRITE arrives silently via the STORAGE group."""
+    scenario = Scenario.build(installer=GooglePlayInstaller)
+    from repro.android.apk import ApkBuilder
+    from repro.android.signing import SigningKey
+    apk = (
+        ApkBuilder("com.fun.flashlight")
+        .uses_permission(READ_EXTERNAL_STORAGE)
+        .build(SigningKey("gia-attacker", "key0"))
+    )
+    scenario.system.install_user_app(apk)
+    attacker = MaliciousApp()
+    scenario.system.attach(attacker)
+    # Initially only READ was requested (and user-approved).
+    state = scenario.system.pms.require_package(attacker.package).permissions
+    state.request(READ_EXTERNAL_STORAGE, user_approves=True)
+    assert not attacker.has_permission(WRITE_EXTERNAL_STORAGE)
+    assert attacker.acquire_sdcard_permission_silently()
+    assert attacker.has_permission(WRITE_EXTERNAL_STORAGE)
+
+
+def test_forge_replacement_keeps_manifest():
+    genuine = MaliciousApp.build_apk("com.any.app")
+    scenario = Scenario.build(installer=GooglePlayInstaller,
+                              attacker=MaliciousApp)
+    twin = scenario.attacker.forge_replacement(genuine.to_bytes())
+    assert twin.manifest.checksum() == genuine.manifest.checksum()
+    assert twin.payload == ATTACKER_PAYLOAD
+    assert twin.certificate.owner == "gia-attacker"
+
+
+def test_fingerprint_wait_delay_lands_in_window():
+    """The derived delay must fall after the check and before install."""
+    for installer_cls in (AmazonInstaller, DTIgniteInstaller):
+        profile = installer_cls.profile
+        fingerprint = fingerprint_for(installer_cls)
+        check_ends = (
+            profile.verify_start_delay_ns
+            + max(0, profile.verify_reads - 1) * profile.per_read_ns
+        )
+        install_at = check_ends + profile.install_delay_ns
+        assert check_ends < fingerprint.wait_and_see_delay_ns < install_at
+
+
+def test_fingerprint_paper_values():
+    """Amazon ~500 ms, DTIgnite ~2 s after download completion."""
+    amazon = fingerprint_for(AmazonInstaller)
+    assert millis(400) <= amazon.wait_and_see_delay_ns <= millis(600)
+    dtignite = fingerprint_for(DTIgniteInstaller)
+    assert millis(1800) <= dtignite.wait_and_see_delay_ns <= millis(2600)

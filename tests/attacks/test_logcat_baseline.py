@@ -1,0 +1,87 @@
+"""Tests for the prior-work logcat baseline attack and its limits."""
+
+import pytest
+
+from repro.errors import SecurityException
+from repro.android import device
+from repro.attacks.logcat_baseline import LogcatConsentReplacer
+from repro.core.scenario import Scenario
+from repro.installers import DTIgniteInstaller, NaiveSdcardInstaller
+
+TARGET = "com.bank.app"
+
+
+def build(installer_cls, profile):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker=LogcatConsentReplacer,
+        device=profile,
+    )
+    scenario.publish_app(TARGET, label="MyBank")
+    return scenario
+
+
+def test_baseline_succeeds_on_ics_pia_install():
+    """Pre-4.1 + consent dialog: the baseline's one sweet spot."""
+    scenario = build(NaiveSdcardInstaller, device.galaxy_s2_ics())
+    outcome = scenario.run_install(TARGET)
+    assert scenario.attacker.subscribed
+    assert outcome.hijacked
+    assert scenario.attacker.swaps
+
+
+def test_baseline_dies_on_android_41_plus():
+    """READ_LOGS is system-only from 4.1: the channel is gone."""
+    scenario = build(NaiveSdcardInstaller, device.nexus5())
+    outcome = scenario.run_install(TARGET)
+    assert not scenario.attacker.subscribed
+    assert "restricted to system apps" in scenario.attacker.denied_reason
+    assert outcome.clean_install
+
+
+def test_baseline_blind_to_silent_installers():
+    """Silent installs never show a dialog: nothing ever hits logcat."""
+    scenario = build(DTIgniteInstaller, device.galaxy_s2_ics())
+    outcome = scenario.run_install(TARGET)
+    assert scenario.attacker.subscribed       # the channel is open...
+    assert not scenario.attacker.swaps        # ...but nothing to react to
+    assert outcome.clean_install
+
+
+def test_gia_covers_what_baseline_cannot():
+    """The paper's point: GIA needs no logcat and hits silent installs."""
+    from repro.attacks.base import fingerprint_for
+    from repro.attacks.toctou import FileObserverHijacker
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+        device=device.nexus5(),               # modern build, logcat closed
+    )
+    scenario.publish_app(TARGET)
+    assert scenario.run_install(TARGET).hijacked
+
+
+def test_logcat_subscription_requires_permission():
+    scenario = build(NaiveSdcardInstaller, device.galaxy_s2_ics())
+    from repro.android.filesystem import Caller
+    nobody = Caller(uid=10099, package="com.nobody")
+    with pytest.raises(SecurityException):
+        scenario.system.logcat.subscribe(nobody, lambda entry: None)
+
+
+def test_system_reads_logcat_on_any_build():
+    scenario = build(NaiveSdcardInstaller, device.nexus5())
+    seen = []
+    scenario.system.logcat.subscribe(scenario.system.system_caller, seen.append)
+    scenario.system.logcat.log("test", "hello")
+    scenario.system.run()
+    assert seen and seen[0].message == "hello"
+
+
+def test_pia_logs_consent_line():
+    scenario = build(NaiveSdcardInstaller, device.galaxy_s2_ics())
+    scenario.run_install(TARGET, arm_attacker=False)
+    lines = [entry.message for entry in scenario.system.logcat.entries]
+    assert any("showing consent for com.bank.app" in line for line in lines)

@@ -1,0 +1,120 @@
+"""Tests for the redirect-Intent attack (Step 1)."""
+
+import pytest
+
+from repro.android.apk import ApkBuilder
+from repro.android.app import App
+from repro.android.intents import Intent
+from repro.android.signing import SigningKey
+from repro.attacks.redirect_intent import RedirectIntentAttacker
+from repro.core.scenario import Scenario
+from repro.installers import GooglePlayInstaller
+from repro.sim.clock import seconds
+
+VICTIM = "com.facebook.katana"
+STORE = "com.android.vending"
+GENUINE = "com.facebook.orca"
+LOOKALIKE = "com.faceboook.orca"   # typosquatted Messenger
+
+
+class VictimApp(App):
+    package = VICTIM
+
+    def open_companion_page(self):
+        self.start_activity(
+            Intent(target_package=STORE, target_activity="AppDetailActivity")
+            .with_extra("show_package", GENUINE)
+        )
+
+
+def build_scenario(defenses=()):
+    scenario = Scenario.build(
+        installer=GooglePlayInstaller,
+        attacker_factory=lambda s: RedirectIntentAttacker(
+            victim_package=VICTIM, store_package=STORE,
+            lookalike_package=LOOKALIKE,
+        ),
+        defenses=defenses,
+    )
+    scenario.publish_app(GENUINE, label="Messenger")
+    scenario.publish_app(LOOKALIKE, label="Messenger")
+    victim_apk = ApkBuilder(VICTIM).label("Facebook").build(SigningKey("fb", "k"))
+    scenario.system.install_user_app(victim_apk)
+    victim = VictimApp()
+    scenario.system.attach(victim)
+    scenario.system.ams.bring_to_foreground(VICTIM)
+    return scenario, victim
+
+
+def run_attack(scenario, victim):
+    scenario.attacker.arm(seconds(5))
+    victim.open_companion_page()
+    scenario.system.run()
+
+
+def test_store_page_silently_switched():
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    assert scenario.installer.displayed_package == LOOKALIKE
+    assert scenario.attacker.result().succeeded
+
+
+def test_user_install_after_redirect_gets_lookalike():
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    scenario.installer.user_clicks_install()
+    scenario.system.run()
+    assert scenario.system.pms.is_installed(LOOKALIKE)
+    assert not scenario.system.pms.is_installed(GENUINE)
+
+
+def test_attack_waits_for_foreground_handoff():
+    scenario, victim = build_scenario()
+    scenario.attacker.arm(seconds(1))
+    # The victim never opens the store: oom_adj stays 0, nothing fires.
+    scenario.system.run()
+    assert not scenario.attacker.fired
+
+
+def test_attack_fires_only_after_store_foreground():
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    assert scenario.attacker.fired
+    assert scenario.attacker.fired_at_ns > 0
+
+
+def test_no_fake_activity_involved():
+    """The attacker never draws UI: the store's own activity is abused."""
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    frames = scenario.system.ams.stack
+    assert all(frame.package != scenario.attacker.package for frame in frames)
+
+
+def test_recipient_cannot_identify_sender_without_defense():
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    top = scenario.system.ams.top_frame()
+    assert top.intent.get_intent_origin() is None
+
+
+def test_intent_origin_defense_reveals_sender():
+    scenario, victim = build_scenario(defenses=("intent-origin",))
+    run_attack(scenario, victim)
+    top = scenario.system.ams.top_frame()
+    assert top.intent.get_intent_origin() == scenario.attacker.package
+
+
+def test_detection_defense_raises_alarm():
+    scenario, victim = build_scenario(defenses=("intent-detection",))
+    run_attack(scenario, victim)
+    assert scenario.intent_detection.detected
+    alarm = scenario.intent_detection.report.alarms[0]
+    assert scenario.attacker.package in alarm
+
+
+def test_victim_display_history_records_both_intents():
+    scenario, victim = build_scenario()
+    run_attack(scenario, victim)
+    shown = [entry[1] for entry in scenario.installer.display_history]
+    assert shown == [GENUINE, LOOKALIKE]

@@ -1,0 +1,102 @@
+"""Tests for the wait-and-see hijacking attack (Step 3, no FileObserver)."""
+
+import pytest
+
+from repro.attacks.base import StoreFingerprint, fingerprint_for
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import (
+    AmazonInstaller,
+    BaiduInstaller,
+    DTIgniteInstaller,
+    GooglePlayInstaller,
+    XiaomiInstaller,
+)
+from repro.sim.clock import millis
+
+TARGET = "com.victim.app"
+
+
+def hijack_scenario(installer_cls, fingerprint=None, defenses=()):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=lambda s: WaitAndSeeHijacker(
+            fingerprint or fingerprint_for(installer_cls)
+        ),
+        defenses=defenses,
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+@pytest.mark.parametrize("installer_cls", [
+    AmazonInstaller, BaiduInstaller, DTIgniteInstaller, XiaomiInstaller,
+])
+def test_timing_only_attack_hijacks_sdcard_stores(installer_cls):
+    scenario = hijack_scenario(installer_cls)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked, outcome
+
+
+def test_attack_uses_eocd_to_detect_completion():
+    scenario = hijack_scenario(DTIgniteInstaller)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    # The swap was a move of a pre-staged twin (MOVED_TO semantics).
+    assert scenario.attacker.swaps
+
+
+def test_wrong_delay_misses_window():
+    """Firing way after the PMS read replaces a file nobody installs."""
+    late = StoreFingerprint(
+        watch_dir=AmazonInstaller.profile.download_dir,
+        close_nowrite_count=7,
+        wait_and_see_delay_ns=millis(20_000),
+    )
+    scenario = hijack_scenario(AmazonInstaller, fingerprint=late)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.installed
+    assert not outcome.hijacked
+
+
+def test_too_early_delay_corrupts_before_check():
+    early = StoreFingerprint(
+        watch_dir=DTIgniteInstaller.profile.download_dir,
+        close_nowrite_count=1,
+        wait_and_see_delay_ns=millis(100),  # check runs at ~1s
+    )
+    scenario = hijack_scenario(DTIgniteInstaller, fingerprint=early)
+    outcome = scenario.run_install(TARGET)
+    # The swap landed *before* the integrity check: DTIgnite caught the
+    # mismatch and re-downloaded transparently.  The one-shot-per-path
+    # attacker missed, and the genuine app was installed on the retry.
+    assert scenario.attacker.swaps  # the early replacement did happen
+    assert not outcome.hijacked
+    from repro.core.ait import AITStep
+    downloads = [e for e in outcome.trace.steps if e.step is AITStep.DOWNLOAD]
+    assert len(downloads) == 2  # the transparent retry the paper notes
+
+
+def test_google_play_immune():
+    scenario = hijack_scenario(
+        GooglePlayInstaller,
+        fingerprint=StoreFingerprint(watch_dir="/sdcard/Download",
+                                     close_nowrite_count=1),
+    )
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+
+
+def test_poller_stops_at_deadline():
+    scenario = hijack_scenario(AmazonInstaller)
+    scenario.attacker.arm(duration_ns=millis(50))
+    scenario.system.run()
+    assert scenario.system.kernel.pending_events() == 0
+
+
+def test_replacement_is_a_move_from_stash():
+    scenario = hijack_scenario(DTIgniteInstaller)
+    scenario.run_install(TARGET)
+    assert scenario.attacker.swaps == ["/sdcard/DTIgnite/com.victim.app.apk"]
+    # The stash directory was used for the pre-stored twin.
+    assert scenario.system.fs.exists(scenario.attacker.stash_dir)

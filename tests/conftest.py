@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.android.apk import Apk, ApkBuilder
+from repro.android.device import nexus5
+from repro.android.signing import SigningKey
+from repro.android.system import AndroidSystem
+
+
+@pytest.fixture
+def system() -> AndroidSystem:
+    """A booted Nexus 5 (Android 5.1) device."""
+    return AndroidSystem(nexus5())
+
+
+@pytest.fixture
+def dev_key() -> SigningKey:
+    """A legitimate developer signing key."""
+    return SigningKey("legit-developer", "release")
+
+
+@pytest.fixture
+def sample_apk(dev_key: SigningKey) -> Apk:
+    """A small, signed app requesting the storage permissions."""
+    return (
+        ApkBuilder("com.example.sample")
+        .label("Sample")
+        .uses_permission(
+            "android.permission.READ_EXTERNAL_STORAGE",
+            "android.permission.WRITE_EXTERNAL_STORAGE",
+        )
+        .payload(b"<sample app code>")
+        .build(dev_key)
+    )
+
+
+def make_apk(package: str, key: SigningKey, version: int = 1,
+             payload: bytes = b"<code>", permissions: tuple = ()) -> Apk:
+    """Convenience APK builder used across test modules."""
+    builder = ApkBuilder(package).version(version).payload(payload)
+    if permissions:
+        builder.uses_permission(*permissions)
+    return builder.build(key)

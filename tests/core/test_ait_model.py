@@ -1,0 +1,67 @@
+"""Tests for the AIT model and transaction traces."""
+
+from repro.core.ait import AITStep, StepTrace, TransactionTrace
+
+
+def test_four_steps_numbered_like_figure1():
+    assert AITStep.INVOCATION.value == 1
+    assert AITStep.DOWNLOAD.value == 2
+    assert AITStep.TRIGGER.value == 3
+    assert AITStep.INSTALL.value == 4
+
+
+def test_step_titles_match_paper():
+    assert AITStep.INVOCATION.title == "AIT Invocation"
+    assert AITStep.DOWNLOAD.title == "APK Download"
+    assert AITStep.TRIGGER.title == "Installation Trigger"
+    assert AITStep.INSTALL.title == "APK Install"
+
+
+def test_begin_records_step():
+    trace = TransactionTrace("com.store", "com.app")
+    entry = trace.begin(AITStep.DOWNLOAD, 100, mechanism="dm", path="/x")
+    assert entry.step is AITStep.DOWNLOAD
+    assert entry.detail == {"path": "/x"}
+    assert trace.steps == [entry]
+
+
+def test_duration_requires_completion():
+    entry = StepTrace(step=AITStep.DOWNLOAD, start_ns=10)
+    assert entry.duration_ns == -1
+    entry.end_ns = 50
+    assert entry.duration_ns == 40
+
+
+def test_step_for_returns_latest():
+    trace = TransactionTrace("com.store", "com.app")
+    trace.begin(AITStep.DOWNLOAD, 0, mechanism="first")
+    trace.begin(AITStep.DOWNLOAD, 10, mechanism="retry")
+    assert trace.step_for(AITStep.DOWNLOAD).mechanism == "retry"
+    assert trace.step_for(AITStep.INSTALL) is None
+
+
+def test_mechanisms_map():
+    trace = TransactionTrace("com.store", "com.app")
+    trace.begin(AITStep.DOWNLOAD, 0, mechanism="dm")
+    trace.begin(AITStep.INSTALL, 10, mechanism="pms")
+    assert trace.mechanisms() == {AITStep.DOWNLOAD: "dm", AITStep.INSTALL: "pms"}
+
+
+def test_describe_renders_all_lines():
+    trace = TransactionTrace("com.store", "com.app")
+    entry = trace.begin(AITStep.DOWNLOAD, 0, mechanism="dm")
+    entry.end_ns = 2_000_000
+    trace.completed = True
+    text = trace.describe()
+    assert "APK Download" in text
+    assert "2.00 ms" in text
+    assert "completed" in text
+
+
+def test_describe_failed_transaction():
+    trace = TransactionTrace("com.store", "com.app")
+    trace.begin(AITStep.DOWNLOAD, 0)
+    trace.error = "hash mismatch"
+    text = trace.describe()
+    assert "failed: hash mismatch" in text
+    assert "aborted" in text

@@ -1,0 +1,72 @@
+"""Tests for campaigns and the benign workload generator."""
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.core.campaign import Campaign, CampaignStats, benign_workload
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller, DTIgniteInstaller
+
+
+def test_benign_campaign_counts_clean_installs():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    packages = benign_workload(scenario, count=5)
+    stats = Campaign(scenario).install_many(packages)
+    assert stats.runs == 5
+    assert stats.clean_installs == 5
+    assert stats.hijacks == 0
+    assert stats.false_positive_rate == 0.0
+
+
+def test_attack_campaign_counts_hijacks():
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+    )
+    packages = benign_workload(scenario, count=3)
+    stats = Campaign(scenario).install_many(packages)
+    assert stats.hijacks == 3
+    assert stats.hijack_rate == 1.0
+
+
+def test_rearm_between_runs_enables_serial_hijacks():
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+    )
+    packages = benign_workload(scenario, count=2)
+    stats = Campaign(scenario).install_many(packages, rearm_between=False)
+    # Without re-arming, only the first install is hijacked.
+    assert stats.hijacks == 1
+
+
+def test_campaign_with_defense_counts_blocks():
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+        defenses=("fuse-dac",),
+    )
+    packages = benign_workload(scenario, count=2)
+    stats = Campaign(scenario).install_many(packages)
+    assert stats.hijacks == 0
+    assert stats.blocked >= 1
+
+
+def test_stats_error_counting():
+    stats = CampaignStats()
+    from repro.core.outcomes import InstallOutcome
+    stats.record(InstallOutcome(requested_package="x", error="boom"), [])
+    assert stats.errors == 1
+    assert stats.runs == 1
+
+
+def test_benign_workload_publishes_unique_packages():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    packages = benign_workload(scenario, count=10)
+    assert len(set(packages)) == 10
+    assert all(pkg in scenario.listings for pkg in packages)

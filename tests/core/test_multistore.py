@@ -1,0 +1,80 @@
+"""Tests for multi-store scenarios: several installers on one device."""
+
+import pytest
+
+from repro.attacks.base import StoreFingerprint, fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.core.scenario import Scenario
+from repro.installers import (
+    AmazonInstaller,
+    DTIgniteInstaller,
+    XiaomiInstaller,
+)
+
+
+def test_two_stores_coexist():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    dtignite = scenario.attach_installer(DTIgniteInstaller)
+    scenario.publish_app("com.from.amazon", label="A")
+    scenario.publish_app("com.from.carrier", label="B", installer=dtignite)
+    first = scenario.run_install("com.from.amazon")
+    second = scenario.run_install("com.from.carrier", installer=dtignite)
+    assert first.clean_install and second.clean_install
+    assert scenario.system.pms.require_package(
+        "com.from.amazon"
+    ).installer_package == "com.amazon.venezia"
+    assert scenario.system.pms.require_package(
+        "com.from.carrier"
+    ).installer_package == "com.dti.ignite"
+
+
+def test_both_stores_hold_install_packages():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    scenario.attach_installer(DTIgniteInstaller)
+    for package in ("com.amazon.venezia", "com.dti.ignite"):
+        assert scenario.system.pms.check_permission(
+            "android.permission.INSTALL_PACKAGES", package
+        )
+
+
+def test_one_attacker_covers_multiple_stores():
+    """An attacker watching both staging dirs hijacks either AIT."""
+    scenario = Scenario.build(
+        installer=AmazonInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(AmazonInstaller)
+        ),
+    )
+    dtignite = scenario.attach_installer(DTIgniteInstaller)
+    second_attacker = FileObserverHijacker(
+        fingerprint_for(DTIgniteInstaller), package="com.fun.flashlight"
+    )
+    second_attacker.system = scenario.system  # same process, second watcher
+    second_attacker.arm()
+
+    scenario.publish_app("com.via.amazon")
+    scenario.publish_app("com.via.carrier", installer=dtignite)
+    amazon_outcome = scenario.run_install("com.via.amazon")
+    carrier_outcome = scenario.run_install("com.via.carrier",
+                                           installer=dtignite,
+                                           arm_attacker=False)
+    assert amazon_outcome.hijacked
+    assert carrier_outcome.hijacked
+
+
+def test_outcome_trace_belongs_to_the_right_store():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    xiaomi = scenario.attach_installer(XiaomiInstaller)
+    scenario.publish_app("com.a")
+    scenario.publish_app("com.b", installer=xiaomi)
+    outcome_a = scenario.run_install("com.a")
+    outcome_b = scenario.run_install("com.b", installer=xiaomi)
+    assert outcome_a.trace.installer_package == "com.amazon.venezia"
+    assert outcome_b.trace.installer_package == "com.xiaomi.market"
+
+
+def test_extra_installers_tracked():
+    scenario = Scenario.build(installer=AmazonInstaller)
+    extra = scenario.attach_installer(DTIgniteInstaller)
+    assert scenario.extra_installers == [extra]
+    assert scenario.installer.package == "com.amazon.venezia"

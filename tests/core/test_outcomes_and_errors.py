@@ -1,0 +1,81 @@
+"""Tests for outcome dataclasses and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.ait import AITStep
+from repro.core.outcomes import AttackResult, DefenseReport, InstallOutcome
+
+
+# -- outcomes --------------------------------------------------------------------
+
+
+def test_clean_install_semantics():
+    outcome = InstallOutcome(requested_package="x", installed=True)
+    assert outcome.clean_install
+    outcome.hijacked = True
+    assert not outcome.clean_install
+    assert not InstallOutcome(requested_package="x").clean_install
+
+
+def test_attack_result_str():
+    result = AttackResult(attack_name="toctou", ait_step=AITStep.TRIGGER,
+                          succeeded=True)
+    assert "toctou" in str(result)
+    assert "step 3" in str(result)
+    assert "SUCCEEDED" in str(result)
+    failed = AttackResult(attack_name="x", ait_step=AITStep.DOWNLOAD,
+                          succeeded=False)
+    assert "FAILED" in str(failed)
+
+
+def test_defense_report_flags():
+    report = DefenseReport(defense_name="d")
+    assert not report.detected and not report.prevented
+    report.alarms.append("a")
+    assert report.detected
+    report.blocked_operations.append("b")
+    assert report.prevented
+
+
+# -- error hierarchy ----------------------------------------------------------------
+
+
+def test_everything_derives_from_repro_error():
+    for exc_type in (
+        errors.SimulationError, errors.DeadlockError, errors.FileNotFound,
+        errors.FileExists, errors.NotADirectory, errors.IsADirectory,
+        errors.AccessDenied, errors.StorageFull, errors.SymlinkLoop,
+        errors.SecurityException, errors.PermissionUnknown,
+        errors.InstallError, errors.InstallVerificationError,
+        errors.InstallSignatureError, errors.InstallStorageError,
+        errors.InstallAbortedError, errors.PackageNotFound,
+        errors.DownloadError, errors.DownloadDestinationError,
+        errors.ActivityNotFound, errors.CorpusError, errors.SmaliParseError,
+    ):
+        assert issubclass(exc_type, errors.ReproError), exc_type
+
+
+def test_filesystem_errors_carry_path():
+    error = errors.FileNotFound("/some/path")
+    assert error.path == "/some/path"
+    assert "/some/path" in str(error)
+
+
+def test_install_errors_have_failure_codes():
+    assert errors.InstallVerificationError.failure_code == (
+        "INSTALL_FAILED_VERIFICATION_FAILURE"
+    )
+    assert errors.InstallStorageError.failure_code == (
+        "INSTALL_FAILED_INSUFFICIENT_STORAGE"
+    )
+    assert errors.InstallSignatureError.failure_code == (
+        "INSTALL_FAILED_UPDATE_INCOMPATIBLE"
+    )
+
+
+def test_filesystem_error_subtypes_are_catchable_as_group():
+    with pytest.raises(errors.FilesystemError):
+        raise errors.AccessDenied("/p")
+    with pytest.raises(errors.InstallError):
+        raise errors.InstallAbortedError("user said no")

@@ -1,0 +1,135 @@
+"""Tests for the DAPP user-level defense."""
+
+import pytest
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.installers import (
+    AmazonInstaller,
+    DTIgniteInstaller,
+    NaiveSdcardInstaller,
+    XiaomiInstaller,
+)
+
+TARGET = "com.victim.app"
+
+
+def scenario_with_dapp(installer_cls, attacker_cls=None):
+    factory = None
+    if attacker_cls is not None:
+        factory = lambda s: attacker_cls(fingerprint_for(installer_cls))
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=factory,
+        defenses=("dapp",),
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+@pytest.mark.parametrize("installer_cls", [
+    AmazonInstaller, DTIgniteInstaller, XiaomiInstaller,
+])
+def test_detects_fileobserver_hijack(installer_cls):
+    scenario = scenario_with_dapp(installer_cls, FileObserverHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked       # DAPP detects, it does not prevent
+    assert scenario.dapp.detected
+    assert any("replacement" in alarm for alarm in scenario.dapp.report.alarms)
+
+
+def test_detects_wait_and_see_move(installer_cls=DTIgniteInstaller):
+    scenario = scenario_with_dapp(installer_cls, WaitAndSeeHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    assert scenario.dapp.detected
+    assert any("MOVED_TO" in alarm for alarm in scenario.dapp.report.alarms)
+
+
+def test_signature_mismatch_reported_at_install():
+    scenario = scenario_with_dapp(AmazonInstaller, FileObserverHijacker)
+    scenario.run_install(TARGET)
+    assert any(
+        "certificate" in alarm and "differs" in alarm
+        for alarm in scenario.dapp.report.alarms
+    )
+
+
+def test_no_false_positive_on_benign_install():
+    scenario = scenario_with_dapp(AmazonInstaller)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert not scenario.dapp.detected
+
+
+def test_no_false_positive_on_xiaomi_rename_dance():
+    """The tmp-name rename is benign and must not alarm."""
+    scenario = scenario_with_dapp(XiaomiInstaller)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert not scenario.dapp.detected
+
+
+def test_no_false_positive_on_updates():
+    scenario = scenario_with_dapp(AmazonInstaller)
+    scenario.run_install(TARGET)
+    scenario.publish_app(TARGET, version=2)
+    scenario.run_install(TARGET)
+    assert not scenario.dapp.detected
+
+
+def test_protects_installers_without_integrity_checks():
+    """Section V-B: DAPP covers installers that skip the hash check."""
+    scenario = scenario_with_dapp(NaiveSdcardInstaller, FileObserverHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    assert scenario.dapp.detected
+
+
+def test_grabs_signature_at_download_completion():
+    scenario = scenario_with_dapp(AmazonInstaller)
+    scenario.run_install(TARGET)
+    assert TARGET in scenario.dapp.grabbed_packages()
+
+
+def test_runs_as_foreground_service():
+    """startForeground protects DAPP from KILL_BACKGROUND_PROCESSES."""
+    scenario = scenario_with_dapp(AmazonInstaller)
+    assert scenario.dapp.foreground_service
+
+
+def test_dapp_is_unprivileged():
+    scenario = scenario_with_dapp(AmazonInstaller)
+    granted = scenario.system.pms.require_package(
+        scenario.dapp.package
+    ).permissions.granted
+    assert "android.permission.INSTALL_PACKAGES" not in granted
+
+
+def test_no_false_positive_on_fixed_path_updates():
+    """Regression: stores with a fixed staging path (DTIgnite) re-download
+    over a consumed stage on updates; the DELETE + fresh CLOSE_WRITE of
+    that housekeeping must not alarm."""
+    scenario = scenario_with_dapp(DTIgniteInstaller)
+    scenario.run_install(TARGET)
+    scenario.publish_app(TARGET, version=2)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert not scenario.dapp.detected
+
+
+def test_update_swap_blocked_by_cert_continuity_and_still_alarmed():
+    """Attacking the *update* of a genuinely installed app fails at the
+    PMS (certificate continuity) — and DAPP still alarms on the swap."""
+    scenario = scenario_with_dapp(DTIgniteInstaller, FileObserverHijacker)
+    first = scenario.run_install(TARGET, arm_attacker=False)
+    assert first.clean_install
+    scenario.publish_app(TARGET, version=2)
+    outcome = scenario.run_install(TARGET)
+    assert not outcome.hijacked                # continuity held
+    installed = scenario.system.pms.require_package(TARGET)
+    assert installed.version_code == 1         # the update was refused
+    assert installed.certificate.owner == "legit-developer"
+    assert scenario.dapp.detected              # the race was still seen

@@ -1,0 +1,43 @@
+"""DAPP covering multiple stores' staging directories at once."""
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.core.scenario import Scenario
+from repro.installers import AmazonInstaller, DTIgniteInstaller
+
+TARGET = "com.victim.app"
+
+
+def test_dapp_watches_attached_stores_too():
+    scenario = Scenario.build(
+        installer=AmazonInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)   # attacker targets store #2
+        ),
+        defenses=("dapp",),
+    )
+    dtignite = scenario.attach_installer(DTIgniteInstaller)
+    scenario.publish_app(TARGET, installer=dtignite)
+    outcome = scenario.run_install(TARGET, installer=dtignite)
+    assert outcome.hijacked
+    assert scenario.dapp.detected
+
+
+def test_dapp_still_clean_across_benign_multistore_traffic():
+    scenario = Scenario.build(installer=AmazonInstaller, defenses=("dapp",))
+    dtignite = scenario.attach_installer(DTIgniteInstaller)
+    scenario.publish_app("com.a")
+    scenario.publish_app("com.b", installer=dtignite)
+    assert scenario.run_install("com.a").clean_install
+    assert scenario.run_install("com.b", installer=dtignite).clean_install
+    assert not scenario.dapp.detected
+
+
+def test_dapp_grabs_signatures_from_both_stores():
+    scenario = Scenario.build(installer=AmazonInstaller, defenses=("dapp",))
+    dtignite = scenario.attach_installer(DTIgniteInstaller)
+    scenario.publish_app("com.a")
+    scenario.publish_app("com.b", installer=dtignite)
+    scenario.run_install("com.a")
+    scenario.run_install("com.b", installer=dtignite)
+    assert set(scenario.dapp.grabbed_packages()) == {"com.a", "com.b"}

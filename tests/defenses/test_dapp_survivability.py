@@ -1,0 +1,94 @@
+"""Tests for DAPP's resistance to background killing (Section V-B).
+
+'The app is activated through the startForeground API ... This protects
+it from being terminated by a malicious app with the
+KILL_BACKGROUND_PROCESSES permission.'
+"""
+
+import pytest
+
+from repro.errors import SecurityException
+from repro.android.apk import ApkBuilder
+from repro.android.permissions import KILL_BACKGROUND_PROCESSES
+from repro.android.signing import SigningKey
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.core.scenario import Scenario
+from repro.installers import DTIgniteInstaller
+
+TARGET = "com.victim.app"
+
+
+def killer_caller(scenario):
+    apk = (
+        ApkBuilder("com.evil.killer")
+        .uses_permission(KILL_BACKGROUND_PROCESSES,
+                         "android.permission.WRITE_EXTERNAL_STORAGE",
+                         "android.permission.READ_EXTERNAL_STORAGE")
+        .build(SigningKey("gia-attacker", "key0"))
+    )
+    scenario.system.install_user_app(apk)
+    return scenario.system.caller_for("com.evil.killer")
+
+
+def build_scenario():
+    scenario = Scenario.build(
+        installer=DTIgniteInstaller,
+        attacker_factory=lambda s: FileObserverHijacker(
+            fingerprint_for(DTIgniteInstaller)
+        ),
+        defenses=("dapp",),
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+def test_kill_requires_permission():
+    scenario = build_scenario()
+    with pytest.raises(SecurityException):
+        scenario.system.ams.kill_background_processes(
+            scenario.attacker.caller, scenario.dapp.package
+        )
+
+
+def test_foreground_dapp_survives_kill_and_detects():
+    scenario = build_scenario()
+    killer = killer_caller(scenario)
+    killed = scenario.system.ams.kill_background_processes(
+        killer, scenario.dapp.package
+    )
+    assert not killed                      # startForeground saved it
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    assert scenario.dapp.detected          # still watching, still detects
+
+
+def test_background_dapp_is_killable_and_goes_blind():
+    scenario = build_scenario()
+    scenario.dapp.foreground_service = False  # DAPP 'forgot' startForeground
+    killer = killer_caller(scenario)
+    killed = scenario.system.ams.kill_background_processes(
+        killer, scenario.dapp.package
+    )
+    assert killed
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    assert not scenario.dapp.detected      # observers died with the process
+
+
+def test_kill_unknown_package_is_noop():
+    scenario = build_scenario()
+    killer = killer_caller(scenario)
+    assert not scenario.system.ams.kill_background_processes(
+        killer, "com.not.running"
+    )
+
+
+def test_foreground_activity_not_killable():
+    scenario = build_scenario()
+    killer = killer_caller(scenario)
+    scenario.system.ams.bring_to_foreground(scenario.dapp.package)
+    scenario.dapp.foreground_service = False
+    assert not scenario.system.ams.kill_background_processes(
+        killer, scenario.dapp.package
+    )

@@ -1,0 +1,187 @@
+"""Tests for the system-level FUSE DAC defense."""
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.defenses.fuse_dac import HardenedFuseDaemon, install_fuse_dac
+from repro.installers import AmazonInstaller, BaiduInstaller, DTIgniteInstaller
+
+TARGET = "com.victim.app"
+
+
+def defended_scenario(installer_cls, attacker_cls):
+    scenario = Scenario.build(
+        installer=installer_cls,
+        attacker_factory=lambda s: attacker_cls(fingerprint_for(installer_cls)),
+        defenses=("fuse-dac",),
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+@pytest.mark.parametrize("installer_cls", [
+    AmazonInstaller, BaiduInstaller, DTIgniteInstaller,
+])
+def test_prevents_fileobserver_hijack(installer_cls):
+    scenario = defended_scenario(installer_cls, FileObserverHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert scenario.fuse_dac.report.prevented
+    assert scenario.attacker.blocked
+
+
+def test_prevents_wait_and_see_move(installer_cls=DTIgniteInstaller):
+    scenario = defended_scenario(installer_cls, WaitAndSeeHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert scenario.fuse_dac.report.prevented
+
+
+def test_apk_mode_is_640_on_create():
+    scenario = defended_scenario(AmazonInstaller, FileObserverHijacker)
+    scenario.run_install(TARGET)
+    apk_paths = list(scenario.fuse_dac.apk_list)
+    assert apk_paths
+    for path in apk_paths:
+        if scenario.system.fs.exists(path):
+            assert scenario.system.fs.stat(path).mode == 0o640
+
+
+def test_owner_can_still_rewrite_own_apk(system):
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v2")
+    assert system.fs.read_bytes("/sdcard/store/a.apk", owner) == b"v2"
+
+
+def test_non_owner_write_blocked_despite_permission(system):
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    attacker = Caller(uid=10066, package="com.evil", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    with pytest.raises(AccessDenied):
+        system.fs.write_bytes("/sdcard/store/a.apk", attacker, b"evil")
+    with pytest.raises(AccessDenied):
+        system.fs.unlink("/sdcard/store/a.apk", attacker)
+
+
+def test_non_apk_files_unaffected(system):
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    alice = Caller(uid=10042, package="com.a", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    bob = Caller(uid=10043, package="com.b", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.write_bytes("/sdcard/photo.jpg", alice, b"img")
+    system.fs.write_bytes("/sdcard/photo.jpg", bob, b"img2")  # still allowed
+    assert system.fs.read_bytes("/sdcard/photo.jpg", bob) == b"img2"
+
+
+def test_rename_guard_blocks_path_alteration(system):
+    """The handle_rename/APK-list guard against moving the whole dir."""
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    attacker = Caller(uid=10066, package="com.evil", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    with pytest.raises(AccessDenied):
+        system.fs.rename("/sdcard/store", "/sdcard/elsewhere", attacker)
+    with pytest.raises(AccessDenied):
+        system.fs.rename("/sdcard/store/a.apk", "/sdcard/b.apk", attacker)
+    assert daemon.report.prevented
+
+
+def test_owner_rename_keeps_protection(system):
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    system.fs.rename("/sdcard/store/a.apk", "/sdcard/store/b.apk", owner)
+    assert "/sdcard/store/b.apk" in daemon.apk_list
+    assert daemon.apk_list["/sdcard/store/b.apk"].owner_uid == 10042
+
+
+def test_system_can_always_delete(system):
+    """Settings (a system process) can free space despite protection."""
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    system.fs.unlink("/sdcard/store/a.apk", system.system_caller)
+    assert not system.fs.exists("/sdcard/store/a.apk")
+    assert "/sdcard/store/a.apk" not in daemon.apk_list
+
+
+def test_protection_kept_after_install():
+    """The access setting survives installation for future re-installs."""
+    scenario = defended_scenario(DTIgniteInstaller, FileObserverHijacker)
+    scenario.run_install(TARGET)
+    staged = "/sdcard/DTIgnite/com.victim.app.apk"
+    assert staged in scenario.fuse_dac.apk_list
+    from repro.android.filesystem import Caller
+    with pytest.raises(AccessDenied):
+        scenario.system.fs.write_bytes(
+            staged, scenario.attacker.caller, b"late tamper"
+        )
+
+
+def test_owner_delete_then_attacker_recreate_takes_ownership(system):
+    daemon = install_fuse_dac(system)
+    from repro.android.filesystem import Caller
+    owner = Caller(uid=10042, package="com.owner", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    other = Caller(uid=10066, package="com.other", permissions=frozenset(
+        {"android.permission.WRITE_EXTERNAL_STORAGE"}))
+    system.fs.makedirs("/sdcard/store", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", owner, b"v1")
+    system.fs.unlink("/sdcard/store/a.apk", owner)
+    system.fs.write_bytes("/sdcard/store/a.apk", other, b"theirs")
+    assert daemon.apk_list["/sdcard/store/a.apk"].owner_uid == 10066
+
+
+def test_renamed_tmp_download_is_protected():
+    """Regression: the Xiaomi tmp-name dance must not leave the official
+    APK untracked (caught by the attack-matrix benchmark).
+
+    The store downloads to ``x.apk.tmp`` (not tracked: not an .apk
+    name), then renames it to ``x.apk``; the destination must enter the
+    APK list owned by the store, so a subsequent attacker *move* over
+    it is refused.
+    """
+    from repro.attacks.base import fingerprint_for
+    from repro.attacks.wait_and_see import WaitAndSeeHijacker
+    from repro.core.scenario import Scenario
+    from repro.installers import XiaomiInstaller
+
+    scenario = Scenario.build(
+        installer=XiaomiInstaller,
+        attacker_factory=lambda s: WaitAndSeeHijacker(
+            fingerprint_for(XiaomiInstaller)
+        ),
+        defenses=("fuse-dac",),
+    )
+    scenario.publish_app("com.victim.app")
+    outcome = scenario.run_install("com.victim.app")
+    assert outcome.clean_install
+    assert scenario.fuse_dac.report.prevented
+    staged = "/sdcard/xiaomi-market/com.victim.app.apk"
+    assert staged in scenario.fuse_dac.apk_list

@@ -1,0 +1,62 @@
+"""Property-based tests for APK serialization and repackaging."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.android.apk import Apk, ApkBuilder, file_is_complete, repackage
+from repro.android.signing import SigningKey
+
+KEY = SigningKey("dev", "k")
+EVIL = SigningKey("evil", "k")
+
+packages = st.from_regex(r"com\.[a-z]{2,8}\.[a-z]{2,8}", fullmatch=True)
+payloads = st.binary(max_size=2048)
+labels = st.text(min_size=0, max_size=30).filter(lambda s: "\x00" not in s)
+
+
+@given(package=packages, payload=payloads, label=labels,
+       version=st.integers(min_value=1, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_preserves_everything(package, payload, label, version):
+    apk = (
+        ApkBuilder(package).version(version).label(label).payload(payload)
+        .build(KEY)
+    )
+    restored = Apk.from_bytes(apk.to_bytes())
+    assert restored.package == package
+    assert restored.version_code == version
+    assert restored.manifest.label == label
+    assert restored.payload == payload
+    assert restored.verify_signature()
+
+
+@given(package=packages, payload=payloads)
+@settings(max_examples=40, deadline=None)
+def test_serialized_form_is_complete_and_prefixes_are_not(package, payload):
+    data = ApkBuilder(package).payload(payload).build(KEY).to_bytes()
+    assert file_is_complete(data)
+    assert not file_is_complete(data[: len(data) - 1])
+
+
+@given(package=packages, payload=payloads, evil_payload=payloads)
+@settings(max_examples=40, deadline=None)
+def test_repackaging_invariants(package, payload, evil_payload):
+    original = ApkBuilder(package).payload(payload).build(KEY)
+    twin = repackage(original, EVIL, payload=evil_payload)
+    # Invariant 1: manifest checksum identical (verification bypass).
+    assert twin.manifest.checksum() == original.manifest.checksum()
+    # Invariant 2: the twin is validly signed by the attacker.
+    assert twin.verify_signature()
+    assert twin.certificate.owner == "evil"
+    # Invariant 3: file hash differs whenever the payload differs.
+    if evil_payload != payload:
+        assert twin.file_hash() != original.file_hash()
+
+
+@given(package=packages, payload=payloads)
+@settings(max_examples=40, deadline=None)
+def test_hash_is_deterministic_and_content_sensitive(package, payload):
+    apk1 = ApkBuilder(package).payload(payload).build(KEY)
+    apk2 = ApkBuilder(package).payload(payload).build(KEY)
+    assert apk1.file_hash() == apk2.file_hash()
+    tweaked = ApkBuilder(package).payload(payload + b"x").build(KEY)
+    assert tweaked.file_hash() != apk1.file_hash()

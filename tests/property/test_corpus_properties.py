@@ -1,0 +1,80 @@
+"""Property-based tests: corpus generation honours arbitrary specs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.classifier import Category, InstallerClassifier
+from repro.analysis.corpus import (
+    PlayCorpusSpec,
+    WRITE_EXTERNAL,
+    generate_play_corpus,
+)
+
+
+@st.composite
+def play_specs(draw):
+    vulnerable = draw(st.integers(min_value=0, max_value=40))
+    secure = draw(st.integers(min_value=0, max_value=20))
+    unknown_reflection = draw(st.integers(min_value=0, max_value=10))
+    unknown_field = draw(st.integers(min_value=0, max_value=10))
+    unknown_mixed = draw(st.integers(min_value=0, max_value=10))
+    installers = (vulnerable + secure + unknown_reflection + unknown_field
+                  + unknown_mixed)
+    total = draw(st.integers(min_value=max(installers, 10),
+                             max_value=installers + 200))
+    write_external = draw(st.integers(min_value=vulnerable, max_value=total))
+    # Redirect buckets must fit within the corpus.
+    remaining = total
+    exact1 = draw(st.integers(min_value=0, max_value=remaining // 4))
+    exact2 = draw(st.integers(min_value=0, max_value=remaining // 4))
+    three4 = draw(st.integers(min_value=0, max_value=remaining // 4))
+    five8 = draw(st.integers(min_value=0, max_value=remaining // 8))
+    nine_plus = max(0, min(remaining - exact1 - exact2 - three4 - five8,
+                           draw(st.integers(min_value=0, max_value=50))))
+    return PlayCorpusSpec(
+        total=total,
+        vulnerable=vulnerable,
+        secure=secure,
+        unknown_reflection=unknown_reflection,
+        unknown_field_mode=unknown_field,
+        unknown_mixed=unknown_mixed,
+        write_external_total=write_external,
+        redirect_exact_1=exact1,
+        redirect_exact_2=exact2,
+        redirect_3_to_4=three4,
+        redirect_5_to_8=five8,
+        redirect_9_plus=nine_plus,
+    )
+
+
+@given(spec=play_specs(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_generator_hits_any_spec_exactly(spec, seed):
+    """For ANY consistent spec, the classifier recovers the plant."""
+    corpus = generate_play_corpus(seed=seed, spec=spec)
+    assert len(corpus) == spec.total
+    assert sum(1 for app in corpus
+               if app.has_permission(WRITE_EXTERNAL)) == spec.write_external_total
+    results = InstallerClassifier().classify_corpus(corpus)
+    assert results.installers == spec.installers
+    assert results.count(Category.POTENTIALLY_VULNERABLE) == spec.vulnerable
+    assert results.count(Category.POTENTIALLY_SECURE) == spec.secure
+    assert results.count(Category.UNKNOWN) == (
+        spec.unknown_reflection + spec.unknown_field_mode + spec.unknown_mixed
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_generation_is_seed_deterministic(seed):
+    spec = PlayCorpusSpec(
+        total=60, vulnerable=5, secure=3, unknown_reflection=2,
+        unknown_field_mode=2, unknown_mixed=1, write_external_total=20,
+        redirect_exact_1=4, redirect_exact_2=3, redirect_3_to_4=2,
+        redirect_5_to_8=1, redirect_9_plus=5,
+    )
+    first = generate_play_corpus(seed=seed, spec=spec)
+    second = generate_play_corpus(seed=seed, spec=spec)
+    assert [a.smali_text for a in first] == [a.smali_text for a in second]
+    assert [a.declared_permissions for a in first] == [
+        a.declared_permissions for a in second
+    ]

@@ -1,0 +1,85 @@
+"""Property-based tests for Download Manager invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DownloadDestinationError
+from repro.android.apk import ApkBuilder
+from repro.android.device import nexus5
+from repro.android.download_manager import DownloadStatus
+from repro.android.permissions import (
+    READ_EXTERNAL_STORAGE,
+    WRITE_EXTERNAL_STORAGE,
+)
+from repro.android.signing import SigningKey
+from repro.android.system import AndroidSystem
+
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                max_size=10)
+contents = st.binary(min_size=1, max_size=4096)
+
+
+def make_system():
+    system = AndroidSystem(nexus5())
+    apk = (
+        ApkBuilder("com.client")
+        .uses_permission(WRITE_EXTERNAL_STORAGE, READ_EXTERNAL_STORAGE)
+        .build(SigningKey("dev", "k"))
+    )
+    system.install_user_app(apk)
+    return system, system.caller_for("com.client")
+
+
+@given(name=names, data=contents)
+@settings(max_examples=30, deadline=None)
+def test_download_delivers_exact_bytes(name, data):
+    system, caller = make_system()
+    url = f"http://cdn/{name}"
+    system.network.host(url, data)
+    destination = f"/sdcard/dl-{name}.bin"
+    download_id = system.dm.enqueue(caller, url, destination)
+    system.run()
+    record = system.dm.query(caller, download_id)
+    assert record.status is DownloadStatus.SUCCESSFUL
+    assert record.bytes_so_far == len(data)
+    assert system.fs.read_bytes(destination, caller) == data
+
+
+@given(prefix=st.sampled_from(["/data", "/data/data/com.other", "/cache2",
+                               "/system", "/"]))
+@settings(max_examples=10, deadline=None)
+def test_non_sdcard_destinations_always_rejected(prefix):
+    system, caller = make_system()
+    system.network.host("http://cdn/x", b"x")
+    try:
+        system.dm.enqueue(caller, "http://cdn/x", f"{prefix}/file.bin")
+        rejected = False
+    except DownloadDestinationError:
+        rejected = True
+    assert rejected
+
+
+@given(count=st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_download_ids_unique_and_owned(count):
+    system, caller = make_system()
+    system.network.host("http://cdn/x", b"payload")
+    ids = [
+        system.dm.enqueue(caller, "http://cdn/x", f"/sdcard/f{i}.bin")
+        for i in range(count)
+    ]
+    system.run()
+    assert len(set(ids)) == count
+    for download_id in ids:
+        record = system.dm.query(caller, download_id)
+        assert record.requesting_package == "com.client"
+
+
+@given(data=contents)
+@settings(max_examples=20, deadline=None)
+def test_retrieve_equals_file_content(data):
+    system, caller = make_system()
+    system.network.host("http://cdn/x", data)
+    download_id = system.dm.enqueue(caller, "http://cdn/x", "/sdcard/x.bin")
+    system.run()
+    retrieved = system.run_process(system.dm.retrieve(caller, download_id))
+    assert retrieved == data

@@ -1,0 +1,106 @@
+"""Property-based tests for the VFS (hypothesis)."""
+
+import posixpath
+
+from hypothesis import given, settings, strategies as st
+
+from repro.android.filesystem import Caller, Filesystem, NodeKind
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+APP = Caller(uid=10001, package="com.app")
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.-", min_size=1, max_size=12
+).filter(lambda s: s not in (".", "..") and not s.startswith("."))
+
+contents = st.binary(max_size=512)
+
+
+def fresh_fs():
+    kernel = Kernel()
+    fs = Filesystem(EventHub(kernel), kernel.clock)
+    fs.makedirs("/work", APP)
+    return fs
+
+
+@given(name=names, data=contents)
+@settings(max_examples=60, deadline=None)
+def test_write_read_roundtrip(name, data):
+    fs = fresh_fs()
+    path = f"/work/{name}"
+    fs.write_bytes(path, APP, data)
+    assert fs.read_bytes(path, APP) == data
+    assert fs.stat(path).size == len(data)
+
+
+@given(name=names, first=contents, second=contents)
+@settings(max_examples=40, deadline=None)
+def test_overwrite_is_last_writer_wins(name, first, second):
+    fs = fresh_fs()
+    path = f"/work/{name}"
+    fs.write_bytes(path, APP, first)
+    fs.write_bytes(path, APP, second)
+    assert fs.read_bytes(path, APP) == second
+
+
+@given(segments=st.lists(names, min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_makedirs_creates_resolvable_tree(segments):
+    fs = fresh_fs()
+    path = "/" + "/".join(segments)
+    fs.makedirs(path, APP)
+    assert fs.exists(path)
+    assert fs.stat(path).kind is NodeKind.DIRECTORY
+    # every prefix also exists
+    for index in range(1, len(segments) + 1):
+        assert fs.exists("/" + "/".join(segments[:index]))
+
+
+@given(src=names, dst=names, data=contents)
+@settings(max_examples=40, deadline=None)
+def test_rename_preserves_content(src, dst, data):
+    fs = fresh_fs()
+    fs.write_bytes(f"/work/{src}", APP, data)
+    fs.rename(f"/work/{src}", f"/work/renamed-{dst}", APP)
+    assert fs.read_bytes(f"/work/renamed-{dst}", APP) == data
+    if src != f"renamed-{dst}":
+        assert not fs.exists(f"/work/{src}")
+
+
+@given(name=names, data=contents)
+@settings(max_examples=40, deadline=None)
+def test_unlink_frees_exactly_the_bytes(name, data):
+    from repro.android.storage import StorageVolume
+    kernel = Kernel()
+    fs = Filesystem(EventHub(kernel), kernel.clock)
+    volume = StorageVolume("v", 10_000)
+    fs.mount("/vol", volume)
+    path = f"/vol/{name}"
+    fs.write_bytes(path, APP, data)
+    assert volume.used_bytes == len(data)
+    fs.unlink(path, APP)
+    assert volume.used_bytes == 0
+
+
+@given(chain_length=st.integers(min_value=1, max_value=8), data=contents)
+@settings(max_examples=30, deadline=None)
+def test_symlink_chains_resolve(chain_length, data):
+    fs = fresh_fs()
+    fs.write_bytes("/work/real", APP, data)
+    previous = "/work/real"
+    for index in range(chain_length):
+        link = f"/work/link{index}"
+        fs.symlink(link, previous, APP)
+        previous = link
+    assert fs.read_bytes(previous, APP) == data
+    assert fs.resolve_physical(previous) == "/work/real"
+
+
+@given(names_list=st.lists(names, min_size=1, max_size=10, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_listdir_matches_created_files(names_list):
+    fs = fresh_fs()
+    for name in names_list:
+        fs.write_bytes(f"/work/{name}", APP, b"x")
+    assert fs.listdir("/work") == sorted(names_list)

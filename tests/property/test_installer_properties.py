@@ -1,0 +1,71 @@
+"""Property-based tests: arbitrary installer profiles behave sanely."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scenario import Scenario
+from repro.installers.base import BaseInstaller, InstallerProfile
+from repro.sim.clock import millis
+
+
+@st.composite
+def profiles(draw):
+    uses_sdcard = draw(st.booleans())
+    verify_hash = draw(st.booleans())
+    silent = draw(st.booleans())
+    return InstallerProfile(
+        package="com.prop.store",
+        label="prop-store",
+        uses_sdcard=uses_sdcard,
+        download_dir="/sdcard/prop-store" if uses_sdcard else "",
+        randomize_names=draw(st.booleans()),
+        world_readable_staging=not uses_sdcard,
+        verify_hash=verify_hash,
+        verify_reads=draw(st.integers(min_value=0, max_value=9)),
+        verify_start_delay_ns=millis(draw(st.integers(min_value=0,
+                                                      max_value=500))),
+        per_read_ns=millis(draw(st.integers(min_value=0, max_value=200))),
+        install_delay_ns=millis(draw(st.integers(min_value=0, max_value=3000))),
+        rename_on_complete=uses_sdcard and draw(st.booleans()),
+        silent=silent,
+        redownload_on_corrupt=draw(st.booleans()),
+        delete_after_install=draw(st.booleans()),
+    )
+
+
+class PropStore(BaseInstaller):
+    profile = InstallerProfile(package="com.prop.store", label="prop-store")
+
+
+@given(profile=profiles(), seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_any_profile_completes_a_benign_ait(profile, seed):
+    """Whatever the design knobs, an unattacked AIT installs cleanly
+    and the kernel drains."""
+    scenario = Scenario.build(installer=PropStore(profile), seed=seed)
+    scenario.publish_app("com.victim.app", size_bytes=2048)
+    outcome = scenario.run_install("com.victim.app")
+    assert outcome.clean_install, (profile, outcome.error)
+    assert scenario.system.kernel.pending_events() == 0
+
+
+@given(profile=profiles())
+@settings(max_examples=25, deadline=None)
+def test_hijackability_is_exactly_sdcard_exposure(profile):
+    """The paper's core dichotomy, as a property: an armed FileObserver
+    attacker wins iff the staged APK touches the SD-Card."""
+    from repro.attacks.base import fingerprint_for
+    from repro.attacks.toctou import FileObserverHijacker
+
+    installer = PropStore(profile)
+    fingerprint = fingerprint_for(installer)  # derived per design, as the
+    scenario = Scenario.build(                # paper's pre-analysis would
+        installer=installer,
+        attacker_factory=lambda s: FileObserverHijacker(fingerprint),
+    )
+    scenario.publish_app("com.victim.app", size_bytes=2048)
+    outcome = scenario.run_install("com.victim.app")
+    if profile.uses_sdcard:
+        assert outcome.hijacked
+    else:
+        assert not outcome.hijacked
+        assert outcome.clean_install

@@ -1,0 +1,63 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Kernel, Sleep
+
+delays = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                  max_size=30)
+
+
+@given(delays=delays)
+@settings(max_examples=60, deadline=None)
+def test_events_dispatch_in_time_order(delays):
+    kernel = Kernel()
+    seen = []
+    for delay in delays:
+        kernel.call_later(delay, lambda d=delay: seen.append(d))
+    kernel.run()
+    assert seen == sorted(seen)
+    assert kernel.clock.now_ns == max(delays)
+
+
+@given(delays=delays)
+@settings(max_examples=60, deadline=None)
+def test_equal_times_preserve_submission_order(delays):
+    kernel = Kernel()
+    seen = []
+    for index, delay in enumerate(delays):
+        kernel.call_later(delay, lambda i=index, d=delay: seen.append((d, i)))
+    kernel.run()
+    # For equal delays, submission index must be ascending.
+    for (d1, i1), (d2, i2) in zip(seen, seen[1:]):
+        if d1 == d2:
+            assert i1 < i2
+
+
+@given(sleeps=st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                       max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_process_sleep_durations_accumulate(sleeps):
+    kernel = Kernel()
+
+    def proc():
+        for duration in sleeps:
+            yield Sleep(duration)
+        return kernel.clock.now_ns
+
+    assert kernel.run_process(proc()) == sum(sleeps)
+
+
+@given(count=st.integers(min_value=1, max_value=40))
+@settings(max_examples=30, deadline=None)
+def test_spawned_processes_all_complete(count):
+    kernel = Kernel()
+
+    def proc(duration):
+        yield Sleep(duration)
+        return duration
+
+    handles = [kernel.spawn(proc(i * 7 % 13)) for i in range(count)]
+    kernel.run()
+    assert all(handle.done for handle in handles)
+    assert [handle.result for handle in handles] == [i * 7 % 13 for i in range(count)]

@@ -1,0 +1,99 @@
+"""Tests for the EventHub pub/sub layer."""
+
+from repro.sim.events import EventHub
+from repro.sim.kernel import Kernel
+
+
+def make_hub():
+    kernel = Kernel()
+    return kernel, EventHub(kernel)
+
+
+def test_publish_reaches_subscriber():
+    kernel, hub = make_hub()
+    seen = []
+    hub.subscribe("topic", seen.append)
+    assert hub.publish("topic", "hello") == 1
+    kernel.run()
+    assert seen == ["hello"]
+
+
+def test_publish_counts_only_matching_topic():
+    kernel, hub = make_hub()
+    hub.subscribe("a", lambda _: None)
+    assert hub.publish("b", "x") == 0
+
+
+def test_delivery_is_deferred_not_inline():
+    kernel, hub = make_hub()
+    seen = []
+    hub.subscribe("topic", seen.append)
+    hub.publish("topic", 1)
+    assert seen == []  # not delivered until the kernel dispatches
+    kernel.run()
+    assert seen == [1]
+
+
+def test_subscriber_added_after_publish_misses_event():
+    kernel, hub = make_hub()
+    seen = []
+    hub.publish("topic", "early")
+    hub.subscribe("topic", seen.append)
+    kernel.run()
+    assert seen == []
+
+
+def test_cancel_stops_delivery():
+    kernel, hub = make_hub()
+    seen = []
+    subscription = hub.subscribe("topic", seen.append)
+    subscription.cancel()
+    hub.publish("topic", 1)
+    kernel.run()
+    assert seen == []
+
+
+def test_cancel_after_publish_but_before_dispatch():
+    kernel, hub = make_hub()
+    seen = []
+    subscription = hub.subscribe("topic", seen.append)
+    hub.publish("topic", 1)
+    subscription.cancel()
+    kernel.run()
+    assert seen == []  # late cancellation still suppresses delivery
+
+
+def test_multiple_subscribers_in_order():
+    kernel, hub = make_hub()
+    seen = []
+    hub.subscribe("topic", lambda value: seen.append(("first", value)))
+    hub.subscribe("topic", lambda value: seen.append(("second", value)))
+    hub.publish("topic", 9)
+    kernel.run()
+    assert seen == [("first", 9), ("second", 9)]
+
+
+def test_delayed_publish():
+    kernel, hub = make_hub()
+    times = []
+    hub.subscribe("topic", lambda _: times.append(kernel.clock.now_ns))
+    hub.publish("topic", None, delay_ns=1_000)
+    kernel.run()
+    assert times == [1_000]
+
+
+def test_subscriber_count():
+    _kernel, hub = make_hub()
+    sub1 = hub.subscribe("t", lambda _: None)
+    hub.subscribe("t", lambda _: None)
+    assert hub.subscriber_count("t") == 2
+    sub1.cancel()
+    assert hub.subscriber_count("t") == 1
+
+
+def test_cancel_is_idempotent():
+    _kernel, hub = make_hub()
+    subscription = hub.subscribe("t", lambda _: None)
+    subscription.cancel()
+    subscription.cancel()
+    assert hub.subscriber_count("t") == 0

@@ -1,0 +1,43 @@
+"""Consistency checks for the generated API reference."""
+
+import pathlib
+import runpy
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs" / "API.md"
+TOOL = pathlib.Path(__file__).parent.parent / "tools" / "gen_api_docs.py"
+
+
+def test_api_doc_exists_and_covers_key_symbols():
+    text = DOCS.read_text()
+    for symbol in (
+        "InstallerClassifier", "FileObserverHijacker", "HardenedFuseDaemon",
+        "PackageManagerService", "Scenario", "ToolkitInstaller",
+        "DownloadManager", "Timeline",
+    ):
+        assert symbol in text, f"{symbol} missing from docs/API.md"
+
+
+def test_api_doc_is_in_sync_with_the_code(capsys):
+    """Regenerate and compare: stale docs/API.md fails the suite.
+
+    Fix by running ``python tools/gen_api_docs.py``.
+    """
+    before = DOCS.read_text()
+    try:
+        runpy.run_path(str(TOOL), run_name="__main__")
+    except SystemExit as exit_info:
+        assert exit_info.code in (0, None)
+    capsys.readouterr()
+    after = DOCS.read_text()
+    assert before == after, "docs/API.md is stale: run tools/gen_api_docs.py"
+
+
+def test_package_doctest_passes():
+    """The README-style doctest in repro/__init__ must keep working."""
+    import doctest
+
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "[undefended] hijacked=True" in out
+    assert "[defended] hijacked=False" in out
+
+
+def test_attack_command_default(capsys):
+    assert main(["attack"]) == 0
+    out = capsys.readouterr().out
+    assert "hijacked  : True" in out
+    assert "AIT of com.amazon.venezia" in out
+
+
+def test_attack_command_with_defense(capsys):
+    assert main(["attack", "--installer", "dtignite",
+                 "--attack", "fileobserver", "--defense", "fuse-dac"]) == 0
+    out = capsys.readouterr().out
+    assert "hijacked  : False" in out
+    assert "BLOCKED" in out
+
+
+def test_attack_command_no_attacker(capsys):
+    assert main(["attack", "--attack", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "hijacked  : False" in out
+
+
+def test_audit_command(capsys):
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "amazon" in out
+    assert "[CRITICAL]" in out
+    assert "clean" in out  # the toolkit installer
+
+
+def test_parser_rejects_unknown_installer():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["attack", "--installer", "notastore"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

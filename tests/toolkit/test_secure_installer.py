@@ -1,0 +1,136 @@
+"""Tests for the ToolkitInstaller: the paper's suggestions, executable."""
+
+import pytest
+
+from repro.attacks.base import StoreFingerprint
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import Scenario
+from repro.toolkit.secure_installer import ToolkitInstaller
+from repro.toolkit.storage_chooser import StorageChoice
+from repro.sim.clock import millis, seconds
+
+TARGET = "com.victim.app"
+TOOLKIT_STAGING = "/sdcard/toolkit-installer"
+
+
+def toolkit_fingerprint(wait_delay_ms=200):
+    return StoreFingerprint(
+        watch_dir=TOOLKIT_STAGING,
+        close_nowrite_count=1,
+        wait_and_see_delay_ns=millis(wait_delay_ms),
+    )
+
+
+def build(attacker_cls=None, device=None, idle_ms=0, squeeze_internal=False):
+    factory = None
+    if attacker_cls is not None:
+        factory = lambda s: attacker_cls(toolkit_fingerprint())
+    scenario = Scenario.build(
+        installer=ToolkitInstaller(idle_before_install_ns=millis(idle_ms)),
+        attacker_factory=factory,
+        device=device,
+    )
+    if squeeze_internal:
+        volume = scenario.system.internal_volume
+        volume.charge(volume.free_bytes - 10 * 1024 * 1024)  # leave ~10 MB
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+def test_prefers_internal_storage():
+    scenario = build()
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert scenario.installer.decisions[-1].choice is StorageChoice.INTERNAL
+
+
+def test_falls_back_to_sdcard_when_space_starved():
+    scenario = build(squeeze_internal=False)
+    volume = scenario.system.internal_volume
+    volume.charge(volume.free_bytes - 20 * 1024 * 1024)
+    outcome = scenario.run_install(TARGET)
+    # Headroom (64 MB) exceeds free internal space: external staging.
+    assert scenario.installer.decisions[-1].choice is StorageChoice.EXTERNAL
+    assert outcome.clean_install
+
+
+def test_fileobserver_attacker_cannot_hijack_internal_path():
+    scenario = build(attacker_cls=FileObserverHijacker)
+    outcome = scenario.run_install(TARGET)
+    assert outcome.clean_install
+    assert not scenario.attacker.swaps
+
+
+def test_fileobserver_attacker_cannot_hijack_external_path():
+    """Even on the SD-Card, verify+install are atomic: no window."""
+    scenario = build(attacker_cls=FileObserverHijacker, squeeze_internal=True)
+    outcome = scenario.run_install(TARGET)
+    assert scenario.installer.decisions[-1].choice is StorageChoice.EXTERNAL
+    assert outcome.installed
+    assert not outcome.hijacked
+
+
+def test_wait_and_see_attacker_cannot_hijack_external_path():
+    scenario = build(attacker_cls=WaitAndSeeHijacker, squeeze_internal=True)
+    outcome = scenario.run_install(TARGET)
+    assert not outcome.hijacked
+
+
+def test_idle_stage_tampering_fails_closed():
+    """A pre-downloaded stage gets swapped during idle: the guard sees
+    it and the installer aborts/retries rather than installing."""
+    scenario = build(attacker_cls=WaitAndSeeHijacker, squeeze_internal=True,
+                     idle_ms=800)
+    outcome = scenario.run_install(TARGET)
+    # Fail closed: either a clean retry succeeded or nothing installed —
+    # but never the attacker's package.
+    assert not outcome.hijacked
+    assert scenario.installer.aborted_stages >= 1
+
+
+def test_guard_records_tamper_events():
+    scenario = build(attacker_cls=WaitAndSeeHijacker, squeeze_internal=True,
+                     idle_ms=800)
+    scenario.run_install(TARGET)
+    # At least one stage was discarded after guard evidence.
+    assert scenario.installer.aborted_stages >= 1
+
+
+def test_gives_up_after_persistent_tampering():
+    from repro.errors import InstallVerificationError
+
+    class RelentlessHijacker(WaitAndSeeHijacker):
+        """Re-attacks every staged file, forever."""
+
+        def _fire_due(self):
+            super()._fire_due()
+
+    scenario = Scenario.build(
+        installer=ToolkitInstaller(idle_before_install_ns=millis(800)),
+        attacker_factory=lambda s: RelentlessHijacker(toolkit_fingerprint()),
+    )
+    volume = scenario.system.internal_volume
+    volume.charge(volume.free_bytes - 10 * 1024 * 1024)
+    scenario.publish_app(TARGET)
+    outcome = scenario.run_install(TARGET)
+    if not outcome.installed:
+        assert "tampering" in outcome.error or "gave up" in outcome.error
+    assert not outcome.hijacked
+
+
+def test_trace_shows_atomic_mechanism():
+    scenario = build()
+    outcome = scenario.run_install(TARGET)
+    from repro.core.ait import AITStep
+    assert "atomic" in outcome.trace.step_for(AITStep.TRIGGER).mechanism
+    assert "same step" in outcome.trace.step_for(AITStep.INSTALL).mechanism
+
+
+def test_stage_deleted_after_install():
+    scenario = build(squeeze_internal=True)
+    outcome = scenario.run_install(TARGET)
+    staged = outcome.trace.step_for(
+        __import__("repro.core.ait", fromlist=["AITStep"]).AITStep.DOWNLOAD
+    ).detail["path"]
+    assert not scenario.system.fs.exists(staged)
