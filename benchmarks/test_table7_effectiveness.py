@@ -148,6 +148,53 @@ def test_table7_effectiveness(benchmark, report_sink):
     assert all(count < 250 for count in loc.values())
 
 
+def test_table7_hijack_cells_fleet(report_sink):
+    """The Table VII hijack cells as sharded fleet campaigns.
+
+    Instead of one install per attack x defense cell, each cell runs a
+    multi-install campaign through the engine, turning the paper's
+    single-trial outcomes into rates with confidence intervals.
+    """
+    from repro.engine import CampaignSpec, run_fleet
+
+    cells = [
+        ("dapp", CampaignSpec(
+            installs=8, installer="amazon", attack="fileobserver",
+            defenses=("dapp",), seed=7)),
+        ("fuse_dac", CampaignSpec(
+            installs=8, installer="dtignite", attack="wait-and-see",
+            defenses=("fuse-dac",), seed=7)),
+        ("undefended", CampaignSpec(
+            installs=8, installer="amazon", attack="fileobserver",
+            seed=7)),
+    ]
+    rows, results = [], {}
+    for key, spec in cells:
+        report = run_fleet(spec, shards=2, workers=2)
+        results[key] = report
+        lo, hi = report.hijack_ci
+        rows.append((
+            key, spec.installer, spec.attack,
+            f"{report.stats.hijack_rate:.2f} [{lo:.2f}, {hi:.2f}]",
+            report.stats.alarmed_runs, report.stats.blocked_runs,
+            report.backend,
+        ))
+    report_sink("table7_fleet_grid", render_table(
+        "Table VII hijack cells via fleet engine (8 installs per cell)",
+        ["cell", "installer", "attack", "hijack rate [95% CI]",
+         "alarmed runs", "blocked runs", "backend"],
+        rows,
+    ))
+    # DAPP: every hijack proceeds but every run raises an alarm.
+    dapp = results["dapp"].stats
+    assert dapp.hijack_rate == 1.0 and dapp.alarmed_runs == dapp.runs
+    # FUSE DAC: every hijack is prevented.
+    fuse = results["fuse_dac"].stats
+    assert fuse.hijacks == 0 and fuse.blocked_runs == fuse.runs
+    # Undefended baseline: the attack wins every run.
+    assert results["undefended"].stats.hijack_rate == 1.0
+
+
 def _verdict(key, result):
     if key == "dapp":
         return "detected" if result[1] else "missed"

@@ -8,6 +8,10 @@ Commands
 - ``tables``   — regenerate the Section IV measurement tables.
 - ``audit``    — audit every bundled installer profile against the
   paper's developer suggestions.
+- ``fleet``    — run a sharded campaign across a worker pool
+  (``--installs 10000 --workers 4``).
+
+Every command accepts ``--seed`` for reproducible runs.
 """
 
 from __future__ import annotations
@@ -17,19 +21,20 @@ import sys
 from typing import List, Optional
 
 from repro.attacks.base import fingerprint_for
-from repro.attacks.toctou import FileObserverHijacker
-from repro.attacks.wait_and_see import WaitAndSeeHijacker
 from repro.core.scenario import Scenario
+from repro.engine.spec import ATTACKS, DEVICES
 from repro.installers import all_installer_types, installer_by_name
 
-ATTACKS = {
-    "fileobserver": FileObserverHijacker,
-    "wait-and-see": WaitAndSeeHijacker,
-    "none": None,
-}
+DEFAULT_SEED = 7
 
 
-def _run_demo_inline() -> int:
+def _seed_of(args: argparse.Namespace) -> int:
+    return DEFAULT_SEED if args.seed is None else args.seed
+
+
+def _run_demo_inline(seed: int) -> int:
+    from repro.attacks.toctou import FileObserverHijacker
+
     for defenses in ((), ("fuse-dac",)):
         scenario = Scenario.build(
             installer=installer_by_name("amazon"),
@@ -37,6 +42,7 @@ def _run_demo_inline() -> int:
                 fingerprint_for(installer_by_name("amazon"))
             ),
             defenses=defenses,
+            seed=seed,
         )
         scenario.publish_app("com.bank.app", label="MyBank")
         outcome = scenario.run_install("com.bank.app")
@@ -56,6 +62,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         installer=installer_cls,
         attacker_factory=factory,
         defenses=tuple(args.defense),
+        seed=_seed_of(args),
     )
     scenario.publish_app(args.package, label="Target App")
     outcome = scenario.run_install(args.package)
@@ -72,7 +79,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_tables(_args: argparse.Namespace) -> int:
+def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.analysis.factory_images import generate_fleet
     from repro.measurement.report import (
         render_installer_breakdown,
@@ -96,7 +103,10 @@ def _cmd_tables(_args: argparse.Namespace) -> int:
     print()
     print(render_table4(compute_table4()))
     print()
-    fleet = generate_fleet()
+    # The corpus ships with its own calibrated default seed; --seed
+    # overrides it for sensitivity runs.
+    fleet = (generate_fleet() if args.seed is None
+             else generate_fleet(seed=args.seed))
     print(render_table5(compute_table5(fleet)))
     print()
     print(render_table6(compute_table6(fleet)))
@@ -121,17 +131,48 @@ def _cmd_audit(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.engine import CampaignSpec, ConsoleProgress, run_fleet
+    from repro.engine.progress import NullProgress
+
+    spec = CampaignSpec(
+        installs=args.installs,
+        installer=args.installer,
+        attack=args.attack,
+        defenses=tuple(args.defense),
+        device=args.device,
+        seed=_seed_of(args),
+    )
+    progress = NullProgress() if args.quiet else ConsoleProgress()
+    report = run_fleet(
+        spec,
+        shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.retries,
+        progress=progress,
+    )
+    print(report.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ghost Installer (DSN 2017) reproduction toolkit",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=None,
+                        help="RNG seed for reproducible runs")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="quickstart hijack + defense")
+    sub.add_parser("demo", help="quickstart hijack + defense",
+                   parents=[common])
 
-    attack = sub.add_parser("attack", help="run one attack scenario")
+    attack = sub.add_parser("attack", help="run one attack scenario",
+                            parents=[common])
     attack.add_argument("--installer", default="amazon",
                         choices=sorted(all_installer_types()))
     attack.add_argument("--attack", default="fileobserver",
@@ -141,22 +182,58 @@ def build_parser() -> argparse.ArgumentParser:
                                  "intent-origin"])
     attack.add_argument("--package", default="com.victim.app")
 
-    sub.add_parser("tables", help="regenerate Tables II-VI")
-    sub.add_parser("audit", help="audit installer designs")
+    sub.add_parser("tables", help="regenerate Tables II-VI",
+                   parents=[common])
+    sub.add_parser("audit", help="audit installer designs",
+                   parents=[common])
+
+    fleet = sub.add_parser(
+        "fleet", parents=[common],
+        help="run a sharded campaign across a worker pool")
+    fleet.add_argument("--installs", type=int, default=1000,
+                       help="total installs in the campaign")
+    fleet.add_argument("--installer", default="amazon",
+                       choices=sorted(all_installer_types()))
+    fleet.add_argument("--attack", default="none", choices=sorted(ATTACKS))
+    fleet.add_argument("--defense", action="append", default=[],
+                       choices=["dapp", "fuse-dac", "intent-detection",
+                                "intent-origin"])
+    fleet.add_argument("--device", default="nexus5",
+                       choices=sorted(DEVICES))
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="shard count (default: one per worker)")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cores, max 4)")
+    fleet.add_argument("--backend", default="auto",
+                       choices=["auto", "process", "serial"])
+    fleet.add_argument("--shard-timeout", type=float, default=None,
+                       help="per-shard timeout in seconds")
+    fleet.add_argument("--retries", type=int, default=2,
+                       help="pool retries per shard before serial fallback")
+    fleet.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "demo":
-        return _run_demo_inline()
-    if args.command == "attack":
-        return _cmd_attack(args)
-    if args.command == "tables":
-        return _cmd_tables(args)
-    if args.command == "audit":
-        return _cmd_audit(args)
+    try:
+        if args.command == "demo":
+            return _run_demo_inline(_seed_of(args))
+        if args.command == "attack":
+            return _cmd_attack(args)
+        if args.command == "tables":
+            return _cmd_tables(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 2
 
 

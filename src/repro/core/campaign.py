@@ -2,12 +2,15 @@
 
 Powers Table VII (attack x defense effectiveness) and the Section VI-A
 false-positive study (many benign installs, count spurious alarms).
+``CampaignStats`` is also the unit of account of the fleet engine
+(:mod:`repro.engine`): shard workers each produce one, and the merge
+step folds them with :meth:`CampaignStats.merge`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.outcomes import DefenseReport, InstallOutcome
 from repro.core.scenario import Scenario
@@ -15,7 +18,12 @@ from repro.core.scenario import Scenario
 
 @dataclass
 class CampaignStats:
-    """Aggregated results of a campaign."""
+    """Aggregated results of a campaign.
+
+    ``outcomes`` normally holds :class:`InstallOutcome` objects; stats
+    returned by the fleet engine hold the slimmer, picklable
+    :class:`repro.engine.merge.OutcomeRecord` instead (same read API).
+    """
 
     runs: int = 0
     installs_completed: int = 0
@@ -24,11 +32,28 @@ class CampaignStats:
     errors: int = 0
     alarms: int = 0
     blocked: int = 0
+    alarmed_runs: int = 0
+    blocked_runs: int = 0
     outcomes: List[InstallOutcome] = field(default_factory=list)
+    # Per-defense high-water marks of the cumulative report counters,
+    # used to turn cumulative reports into per-run deltas.  Bookkeeping
+    # only: excluded from equality and repr.
+    _alarm_marks: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False)
+    _blocked_marks: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def record(self, outcome: InstallOutcome,
                reports: Sequence[DefenseReport]) -> None:
-        """Fold one run into the totals."""
+        """Fold one run into the totals.
+
+        Defense reports are *cumulative* over the life of a scenario,
+        so each run's contribution is the delta of the counters since
+        the previous ``record`` call that saw the same defense.  A
+        counter smaller than its high-water mark means the report was
+        reset (a fresh scenario re-using this stats object); the new
+        total then counts in full.
+        """
         self.runs += 1
         self.outcomes.append(outcome)
         if outcome.installed:
@@ -39,8 +64,50 @@ class CampaignStats:
             self.clean_installs += 1
         if outcome.error is not None:
             self.errors += 1
-        self.alarms = sum(len(report.alarms) for report in reports)
-        self.blocked = sum(len(report.blocked_operations) for report in reports)
+        alarm_delta = self._delta(
+            self._alarm_marks, reports, lambda r: len(r.alarms))
+        blocked_delta = self._delta(
+            self._blocked_marks, reports, lambda r: len(r.blocked_operations))
+        self.alarms += alarm_delta
+        self.blocked += blocked_delta
+        if alarm_delta:
+            self.alarmed_runs += 1
+        if blocked_delta:
+            self.blocked_runs += 1
+
+    @staticmethod
+    def _delta(marks: Dict[str, int], reports: Sequence[DefenseReport],
+               counter: Callable[[DefenseReport], int]) -> int:
+        delta = 0
+        for report in reports:
+            total = counter(report)
+            last = marks.get(report.defense_name, 0)
+            if total < last:  # report reset under us: count it in full
+                last = 0
+            delta += total - last
+            marks[report.defense_name] = total
+        return delta
+
+    def merge(self, other: "CampaignStats") -> "CampaignStats":
+        """Combine two stats into a new one (associative; identity =
+        empty ``CampaignStats()``).
+
+        The merged object is an aggregation snapshot: its delta
+        bookkeeping is reset, so keep recording runs into the *input*
+        stats, not into a merge result.
+        """
+        return CampaignStats(
+            runs=self.runs + other.runs,
+            installs_completed=self.installs_completed + other.installs_completed,
+            hijacks=self.hijacks + other.hijacks,
+            clean_installs=self.clean_installs + other.clean_installs,
+            errors=self.errors + other.errors,
+            alarms=self.alarms + other.alarms,
+            blocked=self.blocked + other.blocked,
+            alarmed_runs=self.alarmed_runs + other.alarmed_runs,
+            blocked_runs=self.blocked_runs + other.blocked_runs,
+            outcomes=list(self.outcomes) + list(other.outcomes),
+        )
 
     @property
     def hijack_rate(self) -> float:
@@ -54,11 +121,17 @@ class CampaignStats:
 
 
 class Campaign:
-    """Run a sequence of installs through one scenario."""
+    """Run a sequence of installs through one scenario.
 
-    def __init__(self, scenario: Scenario) -> None:
+    Pass an existing ``stats`` to accumulate several campaigns (even
+    over different scenarios) into one running total — the fleet
+    engine's serial backend and multi-scenario studies both do this.
+    """
+
+    def __init__(self, scenario: Scenario,
+                 stats: Optional[CampaignStats] = None) -> None:
         self.scenario = scenario
-        self.stats = CampaignStats()
+        self.stats = stats if stats is not None else CampaignStats()
 
     def install_many(self, packages: Sequence[str], arm_attacker: bool = True,
                      rearm_between: bool = True) -> CampaignStats:

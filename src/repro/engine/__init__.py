@@ -1,0 +1,52 @@
+"""Sharded parallel fleet-execution engine for campaigns.
+
+Scales the paper's batch experiments (the Table VII attack x defense
+grid, the Section VI-A 924-install field test) from one simulated
+device in one process to a sharded fleet across a worker pool, with a
+hard determinism contract: one top-level seed produces bit-identical
+merged stats for any shard count and worker count.
+
+- :mod:`repro.engine.spec` — picklable campaign/shard specs.
+- :mod:`repro.engine.executor` — worker pool, retries, serial fallback.
+- :mod:`repro.engine.merge` — associative stat merging + fleet aggregates.
+- :mod:`repro.engine.progress` — progress/throughput hooks.
+"""
+
+from repro.engine.executor import (
+    FleetExecutor,
+    default_workers,
+    multiprocessing_usable,
+    run_fleet,
+    run_shard,
+)
+from repro.engine.merge import (
+    FleetReport,
+    OutcomeRecord,
+    ShardResult,
+    compact_stats,
+    merge_stats,
+    wilson_interval,
+)
+from repro.engine.progress import ConsoleProgress, FleetProgress, NullProgress
+from repro.engine.spec import ATTACKS, DEVICES, CampaignSpec, ShardSpec
+
+__all__ = [
+    "ATTACKS",
+    "DEVICES",
+    "CampaignSpec",
+    "ConsoleProgress",
+    "FleetExecutor",
+    "FleetProgress",
+    "FleetReport",
+    "NullProgress",
+    "OutcomeRecord",
+    "ShardResult",
+    "ShardSpec",
+    "compact_stats",
+    "default_workers",
+    "merge_stats",
+    "multiprocessing_usable",
+    "run_fleet",
+    "run_shard",
+    "wilson_interval",
+]

@@ -1,0 +1,314 @@
+"""Fleet executor: run campaign shards across a worker pool.
+
+The process backend is a small explicit scheduler over
+``multiprocessing.Process`` workers rather than a ``Pool``: a pool
+loses the task (and may hang the caller) when a worker dies abruptly,
+while the whole point here is precise per-shard crash/timeout
+semantics — a shard whose worker crashes or overruns its deadline is
+retried a bounded number of times, then degraded to the in-process
+serial backend, which is also the fleet-wide fallback when
+``multiprocessing`` itself is unavailable (restricted sandboxes).
+
+Results merge in shard-index order regardless of completion order, so
+the merged stats honour the determinism contract of
+:mod:`repro.engine.spec` for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.campaign import Campaign
+from repro.engine.merge import FleetReport, ShardResult, compact_stats
+from repro.engine.progress import FleetProgress, NullProgress
+from repro.engine.spec import CampaignSpec, ShardSpec
+from repro.errors import ReproError
+
+_OK = "ok"
+_ERROR = "error"
+_POLL_SECONDS = 0.05
+
+BACKENDS = ("auto", "process", "serial")
+
+
+def default_workers() -> int:
+    """Worker-count default: the machine's cores, capped at 4."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def run_shard(shard: ShardSpec) -> ShardResult:
+    """Execute one shard in this process (the serial backend's unit).
+
+    Provisions a fresh device from the shard spec, publishes the
+    shard's slice of the global workload, runs the installs, and
+    returns compacted (picklable, trace-free) stats.
+    """
+    started = time.perf_counter()
+    scenario = shard.build_scenario()
+    packages = shard.publish_workload(scenario)
+    spec = shard.campaign
+    campaign = Campaign(scenario)
+    campaign.install_many(
+        packages,
+        arm_attacker=spec.arm_attacker,
+        rearm_between=spec.rearm_between,
+    )
+    return ShardResult(
+        shard_index=shard.index,
+        start=shard.start,
+        stop=shard.stop,
+        stats=compact_stats(campaign.stats),
+        wall_seconds=time.perf_counter() - started,
+        backend="serial",
+    )
+
+
+def _chaos_indices(spec: CampaignSpec, mode: str) -> Set[int]:
+    if not spec.chaos:
+        return set()
+    name, _, raw = spec.chaos.partition(":")
+    if name != mode:
+        return set()
+    return {int(part) for part in raw.split(",") if part}
+
+
+def _shard_entry(result_queue, shard: ShardSpec) -> None:
+    """Worker-process entry point.
+
+    Failure injection (``spec.chaos``) lives here on purpose: only
+    pool workers honour it, so the serial fallback always recovers.
+    """
+    try:
+        if shard.index in _chaos_indices(shard.campaign, "crash"):
+            os._exit(13)
+        if shard.index in _chaos_indices(shard.campaign, "hang"):
+            time.sleep(3600)
+        if shard.index in _chaos_indices(shard.campaign, "error"):
+            raise RuntimeError(f"injected error in shard {shard.index}")
+        result = run_shard(shard)
+        result.backend = "process"
+        result_queue.put((shard.index, _OK, result))
+    except BaseException as exc:  # pragma: no cover - depends on failure mode
+        try:
+            result_queue.put(
+                (shard.index, _ERROR, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            os._exit(14)
+
+
+def multiprocessing_usable() -> bool:
+    """Can this environment create process pools at all?
+
+    Creating a queue exercises the semaphores and pipes that
+    restricted sandboxes typically forbid.
+    """
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        probe = context.Queue()
+        probe.close()
+        probe.join_thread()
+        return True
+    except (ImportError, OSError, PermissionError):
+        return False
+
+
+class FleetExecutor:
+    """Shard a campaign spec, execute the shards, merge the results."""
+
+    def __init__(self, workers: Optional[int] = None, backend: str = "auto",
+                 shard_timeout: Optional[float] = None, max_retries: int = 2,
+                 progress: Optional[FleetProgress] = None) -> None:
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; valid: {BACKENDS}")
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.progress = progress if progress is not None else NullProgress()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, spec: CampaignSpec,
+            shards: Optional[int] = None) -> FleetReport:
+        """Run ``spec`` across the pool and return the merged report."""
+        started = time.perf_counter()
+        shard_count = shards if shards is not None else self.workers
+        shard_specs = spec.shard(shard_count)
+        backend = self._resolve_backend()
+        workers = 1 if backend == "serial" else min(self.workers,
+                                                    len(shard_specs) or 1)
+        self.progress.on_fleet_start(spec, len(shard_specs), workers, backend)
+        if backend == "serial":
+            results = self._run_serial(shard_specs)
+        else:
+            results = self._run_pool(shard_specs, workers)
+        report = FleetReport.from_shards(
+            spec, results,
+            wall_seconds=time.perf_counter() - started,
+            workers=workers, backend=backend,
+        )
+        self.progress.on_fleet_done(report)
+        return report
+
+    def _resolve_backend(self) -> str:
+        if self.backend == "serial":
+            return "serial"
+        if self.backend == "auto" and self.workers <= 1:
+            return "serial"
+        if not multiprocessing_usable():
+            # Graceful degradation: both "auto" and an explicit
+            # "process" request fall back rather than fail.
+            return "serial"
+        return "process"
+
+    # -- serial backend -------------------------------------------------------
+
+    def _run_serial(self, shard_specs: List[ShardSpec]) -> List[ShardResult]:
+        results = []
+        for shard in shard_specs:
+            self.progress.on_shard_start(shard, 1)
+            result = run_shard(shard)
+            results.append(result)
+            self.progress.on_shard_done(result, len(results),
+                                        len(shard_specs))
+        return results
+
+    # -- process backend ------------------------------------------------------
+
+    def _run_pool(self, shard_specs: List[ShardSpec],
+                  workers: int) -> List[ShardResult]:
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        result_queue = context.Queue()
+        pending: Deque[ShardSpec] = deque(shard_specs)
+        running: Dict[int, Tuple[object, float, ShardSpec]] = {}
+        attempts: Dict[int, int] = {shard.index: 0 for shard in shard_specs}
+        results: Dict[int, ShardResult] = {}
+        fallback: List[ShardSpec] = []
+        total = len(shard_specs)
+
+        def handle(message: Tuple[int, str, object]) -> None:
+            index, status, payload = message
+            if index in results:
+                return  # stale message from a timed-out-then-finished worker
+            entry = running.pop(index, None)
+            if entry is not None:
+                entry[0].join()
+            if status == _OK:
+                payload.attempts = attempts[index]
+                results[index] = payload
+                self.progress.on_shard_done(payload, len(results), total)
+            else:
+                self._retry(pending, fallback, attempts,
+                            self._shard_by_index(shard_specs, index),
+                            str(payload))
+
+        def drain(timeout: float) -> int:
+            handled = 0
+            block = timeout
+            while True:
+                try:
+                    message = result_queue.get(timeout=block)
+                except queue_module.Empty:
+                    return handled
+                handle(message)
+                handled += 1
+                block = 0.0
+
+        try:
+            while pending or running:
+                while pending and len(running) < workers:
+                    shard = pending.popleft()
+                    attempts[shard.index] += 1
+                    self.progress.on_shard_start(shard,
+                                                 attempts[shard.index])
+                    process = context.Process(
+                        target=_shard_entry,
+                        args=(result_queue, shard),
+                        name=f"fleet-shard-{shard.index}",
+                        daemon=True,
+                    )
+                    process.start()
+                    running[shard.index] = (process, time.monotonic(), shard)
+                drain(_POLL_SECONDS)
+                self._reap(running, pending, fallback, attempts, drain)
+        finally:
+            for process, _, _ in running.values():
+                process.terminate()
+                process.join()
+            result_queue.close()
+
+        for shard in fallback:
+            attempts[shard.index] += 1
+            self.progress.on_shard_start(shard, attempts[shard.index])
+            result = run_shard(shard)
+            result.attempts = attempts[shard.index]
+            result.backend = "serial-fallback"
+            results[shard.index] = result
+            self.progress.on_shard_done(result, len(results), total)
+        return list(results.values())
+
+    def _reap(self, running, pending, fallback, attempts, drain) -> None:
+        """Police timeouts and detect crashed workers."""
+        now = time.monotonic()
+        for index, (process, started_at, shard) in list(running.items()):
+            if (self.shard_timeout is not None
+                    and now - started_at > self.shard_timeout):
+                process.terminate()
+                process.join()
+                running.pop(index)
+                self._retry(pending, fallback, attempts, shard,
+                            f"timeout after {self.shard_timeout:.1f}s")
+            elif not process.is_alive():
+                # Its result may still be in flight: give the queue one
+                # final chance before declaring a crash.
+                drain(0.1)
+                if index not in running:
+                    continue  # the drain handled it
+                process.join()
+                running.pop(index)
+                self._retry(pending, fallback, attempts, shard,
+                            f"worker crashed (exit code {process.exitcode})")
+
+    def _retry(self, pending, fallback, attempts,
+               shard: ShardSpec, reason: str) -> None:
+        self.progress.on_shard_retry(shard, attempts[shard.index], reason)
+        if attempts[shard.index] <= self.max_retries:
+            pending.append(shard)
+        else:
+            fallback.append(shard)
+
+    @staticmethod
+    def _shard_by_index(shard_specs: List[ShardSpec],
+                        index: int) -> ShardSpec:
+        for shard in shard_specs:
+            if shard.index == index:
+                return shard
+        raise ReproError(f"unknown shard index {index}")  # pragma: no cover
+
+
+def run_fleet(spec: CampaignSpec, shards: Optional[int] = None,
+              workers: Optional[int] = None, backend: str = "auto",
+              shard_timeout: Optional[float] = None, max_retries: int = 2,
+              progress: Optional[FleetProgress] = None) -> FleetReport:
+    """One-call fleet execution (the ``python -m repro fleet`` engine)."""
+    executor = FleetExecutor(
+        workers=workers,
+        backend=backend,
+        shard_timeout=shard_timeout,
+        max_retries=max_retries,
+        progress=progress,
+    )
+    return executor.run(spec, shards=shards)

@@ -1,0 +1,185 @@
+"""Picklable campaign and shard specifications for the fleet engine.
+
+A :class:`CampaignSpec` names everything a worker process needs to
+rebuild a scenario from scratch — installer, attack, defenses and
+device are referenced *by registry name*, never by object, so a spec
+crosses process boundaries with plain :mod:`pickle`.
+
+Determinism contract
+--------------------
+Shard ``i`` of ``n`` runs global installs ``[start, stop)`` of the
+campaign on a fresh simulated device.  Everything observable about
+install ``k`` is derived from the *global* index ``k`` (package name,
+APK size via :meth:`CampaignSpec.size_for`), never from the shard
+layout, and per-shard RNG streams are forked from the campaign seed
+with the :meth:`repro.sim.rand.DeterministicRandom.fork` label-hash.
+The merged stats of a fixed ``(spec, seed)`` are therefore
+bit-identical for any shard count and worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.android.device import (
+    DeviceProfile,
+    galaxy_j5_lowend,
+    galaxy_s6_edge_verizon,
+    nexus5,
+    nexus5_marshmallow,
+    xiaomi_mi4,
+)
+from repro.attacks.base import MaliciousApp, fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.core.scenario import VALID_DEFENSES, Scenario
+from repro.errors import ReproError
+from repro.installers import installer_by_name
+from repro.sim.rand import DeterministicRandom
+
+#: Attacks a spec may name.  ``None`` means a defense-only / benign run.
+ATTACKS: Dict[str, Optional[Type[MaliciousApp]]] = {
+    "none": None,
+    "fileobserver": FileObserverHijacker,
+    "wait-and-see": WaitAndSeeHijacker,
+}
+
+#: Device profiles a spec may name.
+DEVICES: Dict[str, Callable[[], DeviceProfile]] = {
+    "nexus5": nexus5,
+    "nexus5-marshmallow": nexus5_marshmallow,
+    "xiaomi-mi4": xiaomi_mi4,
+    "galaxy-s6": galaxy_s6_edge_verizon,
+    "galaxy-j5": galaxy_j5_lowend,
+}
+
+
+def workload_package(index: int) -> str:
+    """Package name of global install ``index`` (shard-independent)."""
+    return f"com.fleet.app{index:06d}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fleet campaign: scenario recipe x workload x seed."""
+
+    installs: int
+    installer: str = "amazon"
+    attack: str = "none"
+    defenses: Tuple[str, ...] = ()
+    device: str = "nexus5"
+    seed: int = 7
+    base_size_bytes: int = 4096
+    arm_attacker: bool = True
+    rearm_between: bool = True
+    #: Test-only failure injection, e.g. ``"crash:1"`` or ``"hang:0"``
+    #: (only honoured inside pool worker processes, never in-process).
+    chaos: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.installs < 0:
+            raise ReproError(f"installs must be >= 0, got {self.installs}")
+        installer_by_name(self.installer)  # raises on unknown name
+        if self.attack not in ATTACKS:
+            raise ReproError(
+                f"unknown attack {self.attack!r}; known: {sorted(ATTACKS)}")
+        if self.device not in DEVICES:
+            raise ReproError(
+                f"unknown device {self.device!r}; known: {sorted(DEVICES)}")
+        for name in self.defenses:
+            if name not in VALID_DEFENSES:
+                raise ReproError(
+                    f"unknown defense {name!r}; valid: {VALID_DEFENSES}")
+
+    # -- workload derivation (global, shard-independent) ----------------------
+
+    def size_for(self, index: int) -> int:
+        """APK size of global install ``index``.
+
+        Forked from the campaign seed by install label, so a package
+        gets the same size no matter which shard publishes it.
+        """
+        rng = DeterministicRandom(self.seed).fork(f"pkg-{index}")
+        return self.base_size_bytes + rng.randint(0, self.base_size_bytes)
+
+    def child_seed(self, shard_index: int) -> int:
+        """Scenario seed of shard ``shard_index`` (sim.rand label-hash)."""
+        return DeterministicRandom(self.seed).fork(f"shard-{shard_index}").seed
+
+    # -- sharding --------------------------------------------------------------
+
+    def shard(self, count: int) -> List["ShardSpec"]:
+        """Partition the workload into ``count`` contiguous shards.
+
+        Shards are balanced to within one install.  A one-shot
+        attacker (``rearm_between=False``) arms once per *scenario*,
+        which would make results depend on the shard layout, so such
+        campaigns refuse to shard.
+        """
+        if count < 1:
+            raise ReproError(f"shard count must be >= 1, got {count}")
+        if count > 1 and self.attack != "none" and not self.rearm_between:
+            raise ReproError(
+                "a one-shot attacker (rearm_between=False) arms once per "
+                "shard; run it unsharded to keep results well-defined")
+        base, extra = divmod(self.installs, count)
+        shards, start = [], 0
+        for index in range(count):
+            stop = start + base + (1 if index < extra else 0)
+            shards.append(ShardSpec(
+                campaign=self,
+                index=index,
+                count=count,
+                start=start,
+                stop=stop,
+                seed=self.child_seed(index),
+            ))
+            start = stop
+        return shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of a campaign: global installs [start, stop)."""
+
+    campaign: CampaignSpec
+    index: int
+    count: int
+    start: int
+    stop: int
+    seed: int
+
+    @property
+    def installs(self) -> int:
+        """Number of installs this shard runs."""
+        return self.stop - self.start
+
+    def build_scenario(self) -> Scenario:
+        """Provision this shard's fresh device from the spec."""
+        spec = self.campaign
+        installer_cls = installer_by_name(spec.installer)
+        attacker_cls = ATTACKS[spec.attack]
+        factory = None
+        if attacker_cls is not None:
+            factory = lambda s: attacker_cls(fingerprint_for(installer_cls))
+        return Scenario.build(
+            installer=installer_cls,
+            attacker_factory=factory,
+            device=DEVICES[spec.device](),
+            defenses=spec.defenses,
+            seed=self.seed,
+        )
+
+    def publish_workload(self, scenario: Scenario) -> List[str]:
+        """Publish this shard's slice; sizes come from global indices."""
+        packages = []
+        for index in range(self.start, self.stop):
+            package = workload_package(index)
+            scenario.publish_app(
+                package,
+                label=f"Fleet App {index}",
+                size_bytes=self.campaign.size_for(index),
+            )
+            packages.append(package)
+        return packages

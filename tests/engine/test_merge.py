@@ -1,0 +1,150 @@
+"""Tests for stat merging: associativity, identity, fleet aggregates."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.campaign import CampaignStats
+from repro.core.outcomes import InstallOutcome
+from repro.engine.merge import (
+    FleetReport,
+    OutcomeRecord,
+    ShardResult,
+    compact_stats,
+    merge_stats,
+    wilson_interval,
+)
+from repro.engine.spec import CampaignSpec
+
+
+def _record(index: int, hijacked: bool = False,
+            error: bool = False) -> OutcomeRecord:
+    return OutcomeRecord(
+        requested_package=f"com.app{index}",
+        installed=not error,
+        hijacked=hijacked,
+        error="boom" if error else None,
+        elapsed_ns=1000 + index,
+    )
+
+
+def _stats_from_flags(flags) -> CampaignStats:
+    """Build stats from a list of (hijacked, error) pairs."""
+    stats = CampaignStats()
+    for index, (hijacked, error) in enumerate(flags):
+        record = _record(index, hijacked=hijacked, error=error)
+        stats.runs += 1
+        stats.outcomes.append(record)
+        if record.installed:
+            stats.installs_completed += 1
+        if record.hijacked:
+            stats.hijacks += 1
+        if record.clean_install:
+            stats.clean_installs += 1
+        if record.error is not None:
+            stats.errors += 1
+    return stats
+
+
+flags_lists = st.lists(
+    st.tuples(st.booleans(), st.booleans()), max_size=8)
+
+
+@given(flags_lists)
+@settings(max_examples=50, deadline=None)
+def test_merge_identity_on_empty_stats(flags):
+    stats = _stats_from_flags(flags)
+    assert CampaignStats().merge(stats) == stats
+    assert stats.merge(CampaignStats()) == stats
+
+
+@given(flags_lists, flags_lists, flags_lists)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_associative(a_flags, b_flags, c_flags):
+    a, b, c = (_stats_from_flags(f) for f in (a_flags, b_flags, c_flags))
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left == right
+    assert left.runs == a.runs + b.runs + c.runs
+
+
+def test_merge_sums_every_counter_and_concatenates_outcomes():
+    a = CampaignStats(runs=2, installs_completed=2, hijacks=1,
+                      clean_installs=1, alarms=3, blocked=1,
+                      alarmed_runs=2, blocked_runs=1,
+                      outcomes=[_record(0), _record(1, hijacked=True)])
+    b = CampaignStats(runs=1, installs_completed=0, errors=1,
+                      outcomes=[_record(2, error=True)])
+    merged = a.merge(b)
+    assert merged.runs == 3
+    assert merged.hijacks == 1
+    assert merged.errors == 1
+    assert merged.alarms == 3
+    assert merged.blocked == 1
+    assert merged.alarmed_runs == 2
+    assert merged.blocked_runs == 1
+    assert [o.requested_package for o in merged.outcomes] == [
+        "com.app0", "com.app1", "com.app2"]
+    # Inputs are untouched (merge returns a new snapshot).
+    assert a.runs == 2 and b.runs == 1
+
+
+def test_merge_stats_folds_a_sequence():
+    parts = [_stats_from_flags([(False, False)]) for _ in range(4)]
+    merged = merge_stats(parts)
+    assert merged.runs == 4
+    assert merge_stats([]) == CampaignStats()
+
+
+def test_compact_stats_strips_traces_and_preserves_counters():
+    stats = CampaignStats()
+    outcome = InstallOutcome(requested_package="com.a", installed=True,
+                             installed_certificate_owner="dev",
+                             elapsed_ns=77)
+    stats.record(outcome, [])
+    compact = compact_stats(stats)
+    assert compact.runs == stats.runs == 1
+    assert compact.installs_completed == 1
+    record = compact.outcomes[0]
+    assert isinstance(record, OutcomeRecord)
+    assert record.requested_package == "com.a"
+    assert record.elapsed_ns == 77
+    assert not hasattr(record, "trace")
+    # Idempotent on already-compacted stats.
+    assert compact_stats(compact) == compact
+
+
+def test_wilson_interval_bounds_and_known_value():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+    lo, hi = wilson_interval(50, 100)
+    assert 0.40 < lo < 0.5 < hi < 0.60
+    zlo, zhi = wilson_interval(0, 924)
+    assert zlo == 0.0
+    assert zhi < 0.005  # the paper's 0-alarm claim stays tight
+    for successes, trials in ((0, 10), (10, 10), (3, 7)):
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= successes / trials <= hi <= 1.0
+
+
+def test_fleet_report_aggregates():
+    spec = CampaignSpec(installs=4)
+    shards = [
+        ShardResult(shard_index=1, start=2, stop=4,
+                    stats=_stats_from_flags([(True, False), (False, False)]),
+                    wall_seconds=2.0),
+        ShardResult(shard_index=0, start=0, stop=2,
+                    stats=_stats_from_flags([(False, False), (False, False)]),
+                    wall_seconds=1.0),
+    ]
+    report = FleetReport.from_shards(spec, shards, wall_seconds=2.0,
+                                     workers=2, backend="process")
+    # Shards are reordered by index before merging.
+    assert [s.shard_index for s in report.shards] == [0, 1]
+    assert report.stats.runs == 4
+    assert report.stats.hijacks == 1
+    assert report.stats.hijack_rate == 0.25
+    lo, hi = report.hijack_ci
+    assert lo < 0.25 < hi
+    assert report.throughput == 2.0
+    assert report.shard_timing() == (1.0, 1.5, 2.0)
+    text = report.render()
+    assert "4 installs" in text
+    assert "95% CI" in text

@@ -1,0 +1,104 @@
+"""Tests for campaign/shard specs: validation, sharding, derivation."""
+
+import pickle
+
+import pytest
+
+from repro.engine.spec import ATTACKS, DEVICES, CampaignSpec, ShardSpec
+from repro.errors import ReproError
+
+
+def test_shard_partition_covers_workload_contiguously():
+    spec = CampaignSpec(installs=10)
+    shards = spec.shard(3)
+    assert [(s.start, s.stop) for s in shards] == [(0, 4), (4, 7), (7, 10)]
+    assert sum(s.installs for s in shards) == 10
+    assert [s.index for s in shards] == [0, 1, 2]
+    assert all(s.count == 3 for s in shards)
+
+
+def test_shard_balance_within_one_install():
+    shards = CampaignSpec(installs=100).shard(8)
+    sizes = [s.installs for s in shards]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 100
+
+
+def test_more_shards_than_installs_yields_empty_shards():
+    shards = CampaignSpec(installs=2).shard(4)
+    assert [s.installs for s in shards] == [1, 1, 0, 0]
+
+
+def test_child_seeds_differ_per_shard_and_are_stable():
+    spec = CampaignSpec(installs=8, seed=42)
+    seeds = [spec.child_seed(i) for i in range(4)]
+    assert len(set(seeds)) == 4
+    assert seeds == [CampaignSpec(installs=99, seed=42).child_seed(i)
+                     for i in range(4)]
+
+
+def test_sizes_derive_from_global_index_not_shard_layout():
+    spec = CampaignSpec(installs=20, seed=9)
+    sizes_direct = [spec.size_for(i) for i in range(20)]
+    by_shards = []
+    for shard in spec.shard(7):
+        by_shards.extend(spec.size_for(i)
+                         for i in range(shard.start, shard.stop))
+    assert by_shards == sizes_direct
+    assert all(spec.base_size_bytes <= s <= 2 * spec.base_size_bytes
+               for s in sizes_direct)
+
+
+def test_specs_are_picklable():
+    spec = CampaignSpec(installs=5, attack="fileobserver",
+                        defenses=("dapp",), device="xiaomi-mi4")
+    shard = spec.shard(2)[1]
+    clone = pickle.loads(pickle.dumps(shard))
+    assert clone == shard
+    assert clone.campaign == spec
+
+
+def test_validation_rejects_unknown_names():
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=1, installer="notastore")
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=1, attack="notanattack")
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=1, device="notadevice")
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=1, defenses=("notadefense",))
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=-1)
+
+
+def test_shard_count_must_be_positive():
+    with pytest.raises(ReproError):
+        CampaignSpec(installs=4).shard(0)
+
+
+def test_one_shot_attacker_refuses_to_shard():
+    spec = CampaignSpec(installs=4, attack="fileobserver",
+                        rearm_between=False)
+    with pytest.raises(ReproError):
+        spec.shard(2)
+    # Unsharded and benign one-shot campaigns are fine.
+    assert len(spec.shard(1)) == 1
+    assert len(CampaignSpec(installs=4, rearm_between=False).shard(2)) == 2
+
+
+def test_shard_builds_runnable_scenario():
+    spec = CampaignSpec(installs=3, installer="dtignite",
+                        attack="wait-and-see", defenses=("fuse-dac",))
+    shard = spec.shard(1)[0]
+    scenario = shard.build_scenario()
+    assert scenario.attacker is not None
+    assert scenario.fuse_dac is not None
+    packages = shard.publish_workload(scenario)
+    assert len(packages) == 3
+    assert all(pkg in scenario.listings for pkg in packages)
+
+
+def test_registries_expose_expected_entries():
+    assert ATTACKS["none"] is None
+    assert {"fileobserver", "wait-and-see"} <= set(ATTACKS)
+    assert "nexus5" in DEVICES

@@ -41,6 +41,60 @@ def test_audit_command(capsys):
     assert "clean" in out  # the toolkit installer
 
 
+def test_fleet_command_runs_sharded_campaign(capsys):
+    assert main(["fleet", "--installs", "40", "--shards", "4",
+                 "--workers", "2", "--quiet", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "40 installs over 4 shard(s)" in out
+    assert "clean      : 40" in out
+    assert "95% CI" in out
+
+
+def test_fleet_command_serial_backend_and_defenses(capsys):
+    assert main(["fleet", "--installs", "6", "--installer", "dtignite",
+                 "--attack", "fileobserver", "--defense", "fuse-dac",
+                 "--shards", "2", "--backend", "serial", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=serial" in out
+    assert "hijacked   : 0" in out
+    assert "blocked    : " in out
+
+
+def test_fleet_progress_lines_go_to_stderr(capsys):
+    assert main(["fleet", "--installs", "4", "--shards", "2",
+                 "--backend", "serial"]) == 0
+    captured = capsys.readouterr()
+    assert "[fleet]" in captured.err
+    assert "[fleet]" not in captured.out
+
+
+def test_seed_flag_reproduces_and_varies_output(capsys):
+    main(["attack", "--installer", "dtignite", "--seed", "3"])
+    first = capsys.readouterr().out
+    main(["attack", "--installer", "dtignite", "--seed", "3"])
+    second = capsys.readouterr().out
+    assert first == second
+    assert "hijacked  : True" in first
+
+
+def test_seed_flag_accepted_by_every_command():
+    parser = build_parser()
+    for argv in (["demo", "--seed", "1"],
+                 ["attack", "--seed", "2"],
+                 ["tables", "--seed", "3"],
+                 ["audit", "--seed", "4"],
+                 ["fleet", "--seed", "5"]):
+        args = parser.parse_args(argv)
+        assert args.seed == int(argv[-1])
+
+
+def test_demo_with_seed(capsys):
+    assert main(["demo", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "[undefended] hijacked=True" in out
+    assert "[defended] hijacked=False" in out
+
+
 def test_parser_rejects_unknown_installer():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["attack", "--installer", "notastore"])
