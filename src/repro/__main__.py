@@ -32,9 +32,42 @@ def _seed_of(args: argparse.Namespace) -> int:
     return DEFAULT_SEED if args.seed is None else args.seed
 
 
-def _run_demo_inline(seed: int) -> int:
+def _obs_of(args: argparse.Namespace):
+    """(recorder, metrics) sinks for an in-process command, or Nones."""
+    from repro.obs import MetricsRegistry, TraceRecorder
+
+    recorder = TraceRecorder() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
+    return recorder, metrics
+
+
+def _emit_obs(args: argparse.Namespace, records, snapshot) -> None:
+    """Export the trace/metrics the user asked for.
+
+    ``records``/``snapshot`` may be None (observability off, or a
+    command with nothing to record — the export is then valid but
+    empty, so downstream tooling can rely on the flags always
+    producing well-formed output).
+    """
+    from repro.obs import (
+        empty_snapshot,
+        render_metrics,
+        write_trace_jsonl,
+    )
+
+    if args.trace:
+        count = write_trace_jsonl(args.trace, records or [])
+        print(f"trace: {count} record(s) -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(render_metrics(snapshot if snapshot is not None
+                             else empty_snapshot()))
+
+
+def _run_demo_inline(args: argparse.Namespace) -> int:
     from repro.attacks.toctou import FileObserverHijacker
 
+    seed = _seed_of(args)
+    recorder, metrics = _obs_of(args)
     for defenses in ((), ("fuse-dac",)):
         scenario = Scenario.build(
             installer=installer_by_name("amazon"),
@@ -43,12 +76,17 @@ def _run_demo_inline(seed: int) -> int:
             ),
             defenses=defenses,
             seed=seed,
+            recorder=recorder,
+            metrics=metrics,
         )
         scenario.publish_app("com.bank.app", label="MyBank")
         outcome = scenario.run_install("com.bank.app")
         label = "defended" if defenses else "undefended"
         print(f"[{label}] hijacked={outcome.hijacked} "
               f"signer={outcome.installed_certificate_owner}")
+    _emit_obs(args,
+              recorder.records() if recorder is not None else None,
+              metrics.snapshot() if metrics is not None else None)
     return 0
 
 
@@ -58,11 +96,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     factory = None
     if attacker_cls is not None:
         factory = lambda s: attacker_cls(fingerprint_for(installer_cls))
+    recorder, metrics = _obs_of(args)
     scenario = Scenario.build(
         installer=installer_cls,
         attacker_factory=factory,
         defenses=tuple(args.defense),
         seed=_seed_of(args),
+        recorder=recorder,
+        metrics=metrics,
     )
     scenario.publish_app(args.package, label="Target App")
     outcome = scenario.run_install(args.package)
@@ -76,6 +117,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             print(f"[{report.defense_name}] ALARM: {alarm}")
         for blocked in report.blocked_operations:
             print(f"[{report.defense_name}] BLOCKED: {blocked}")
+    _emit_obs(args,
+              recorder.records() if recorder is not None else None,
+              metrics.snapshot() if metrics is not None else None)
     return 0
 
 
@@ -110,10 +154,14 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     print(render_table5(compute_table5(fleet)))
     print()
     print(render_table6(compute_table6(fleet)))
+    # The tables are computed from static corpora, not simulator runs,
+    # so there is nothing to trace; honour the flags with valid empty
+    # output rather than surprising the caller.
+    _emit_obs(args, None, None)
     return 0
 
 
-def _cmd_audit(_args: argparse.Namespace) -> int:
+def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.toolkit.auditor import audit_profile
     from repro.toolkit.secure_installer import ToolkitInstaller
 
@@ -128,13 +176,23 @@ def _cmd_audit(_args: argparse.Namespace) -> int:
             print(f"  {finding}")
             print(f"      {finding.detail}")
         print()
+    # Static audit, no simulator: valid empty observability output.
+    _emit_obs(args, None, None)
     return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.engine import CampaignSpec, ConsoleProgress, run_fleet
-    from repro.engine.progress import NullProgress
+    from repro.engine import (
+        CampaignSpec,
+        ConsoleProgress,
+        MetricsProgress,
+        NullProgress,
+        TeeProgress,
+        run_fleet,
+    )
+    from repro.obs import render_metrics, write_trace_jsonl
 
+    observe = bool(args.trace or args.metrics)
     spec = CampaignSpec(
         installs=args.installs,
         installer=args.installer,
@@ -142,8 +200,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         defenses=tuple(args.defense),
         device=args.device,
         seed=_seed_of(args),
+        chaos=args.chaos,
+        observe=observe,
     )
     progress = NullProgress() if args.quiet else ConsoleProgress()
+    engine_metrics = None
+    if args.metrics:
+        engine_metrics = MetricsProgress()
+        progress = TeeProgress(progress, engine_metrics)
     report = run_fleet(
         spec,
         shards=args.shards,
@@ -154,6 +218,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         progress=progress,
     )
     print(report.render())
+    if args.trace:
+        count = write_trace_jsonl(args.trace, report.trace_records())
+        print(f"trace: {count} record(s) -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(render_metrics(report.metrics, title="fleet metrics"))
+        print(engine_metrics.render())
     return 0
 
 
@@ -166,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=None,
                         help="RNG seed for reproducible runs")
+    common.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a simulated-time trace as JSONL")
+    common.add_argument("--metrics", action="store_true",
+                        help="collect and print deterministic metrics")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="quickstart hijack + defense",
@@ -210,6 +284,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard timeout in seconds")
     fleet.add_argument("--retries", type=int, default=2,
                        help="pool retries per shard before serial fallback")
+    fleet.add_argument("--chaos", default=None, metavar="MODE:I,J",
+                       help="failure injection for pool workers "
+                            "(crash:|hang:|error: + shard indices)")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
     return parser
@@ -222,7 +299,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "demo":
-            return _run_demo_inline(_seed_of(args))
+            return _run_demo_inline(args)
         if args.command == "attack":
             return _cmd_attack(args)
         if args.command == "tables":

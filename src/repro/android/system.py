@@ -34,15 +34,25 @@ from repro.android.storage import (
     StorageLayout,
     StorageVolume,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, NullRecorder
 from repro.sim import DeterministicRandom, EventHub, Kernel
 
 
 class AndroidSystem:
-    """A booted simulated Android device."""
+    """A booted simulated Android device.
 
-    def __init__(self, profile: Optional[DeviceProfile] = None, seed: int = 7) -> None:
+    ``recorder``/``metrics`` switch on observability for the whole
+    device (kernel, installers, defenses); both default to off.
+    """
+
+    def __init__(self, profile: Optional[DeviceProfile] = None, seed: int = 7,
+                 recorder: Optional[NullRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.profile = profile or nexus5()
-        self.kernel = Kernel()
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics
+        self.kernel = Kernel(recorder=self.obs, metrics=metrics)
         self.hub = EventHub(self.kernel)
         self.rng = DeterministicRandom(seed)
         self.layout = StorageLayout()

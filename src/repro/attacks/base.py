@@ -82,6 +82,38 @@ class MaliciousApp(App):
     def __init__(self, package: Optional[str] = None) -> None:
         super().__init__(package=package)
         self.key = SigningKey("gia-attacker", "key0")
+        self._armed_ns: Optional[int] = None
+
+    # -- observability ---------------------------------------------------------
+
+    def note_armed(self) -> None:
+        """Record the arm instant (the strike window opens here)."""
+        self._armed_ns = self.system.now_ns
+        obs = self.system.obs
+        if obs.enabled:
+            obs.event("attack/arm", self._armed_ns,
+                      attack=type(self).__name__)
+
+    def note_strike(self, path: str, blocked: bool = False,
+                    reason: str = "") -> None:
+        """Record a strike attempt and the arm->strike window span."""
+        obs = self.system.obs
+        now_ns = self.system.now_ns
+        if obs.enabled:
+            obs.event("attack/strike", now_ns, attack=type(self).__name__,
+                      path=path, blocked=blocked, reason=reason)
+            if self._armed_ns is not None:
+                obs.span("attack/window", self._armed_ns, now_ns,
+                         attack=type(self).__name__, path=path,
+                         blocked=blocked)
+        metrics = self.system.metrics
+        if metrics is not None:
+            metrics.counter("attack/strikes").inc()
+            if blocked:
+                metrics.counter("attack/strikes_blocked").inc()
+            if self._armed_ns is not None:
+                metrics.histogram("attack/window_ns").observe(
+                    now_ns - self._armed_ns)
 
     @staticmethod
     def build_apk(package: str = ATTACKER_PACKAGE) -> Apk:

@@ -53,6 +53,7 @@ class FileObserverHijacker(MaliciousApp):
         self._dormant = False
         self._states.clear()
         self.observer.start_watching()
+        self.note_armed()
 
     def disarm(self) -> None:
         """Stop watching."""
@@ -110,8 +111,11 @@ class FileObserverHijacker(MaliciousApp):
         except AccessDenied as exc:
             # A defense (FUSE DAC) vetoed the write.
             self.blocked.append((path, str(exc)))
+            self.note_strike(path, blocked=True, reason=str(exc))
             return
         except (MalformedApk, FilesystemError) as exc:
             self.blocked.append((path, f"swap failed: {exc}"))
+            self.note_strike(path, blocked=True, reason=f"swap failed: {exc}")
             return
         self.swaps.append(path)
+        self.note_strike(path)

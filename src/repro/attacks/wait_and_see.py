@@ -52,6 +52,7 @@ class WaitAndSeeHijacker(MaliciousApp):
         """Start polling for ``duration_ns``; returns the spawned process."""
         if not self.system.fs.exists(self.stash_dir):
             self.make_dirs(self.stash_dir)
+        self.note_armed()
         return self.system.kernel.spawn(
             self._poll_loop(duration_ns), name="wait-and-see-poll"
         )
@@ -106,8 +107,12 @@ class WaitAndSeeHijacker(MaliciousApp):
                 self.move_file(twin, path)
             except AccessDenied as exc:
                 self.blocked.append((path, str(exc)))
+                self.note_strike(path, blocked=True, reason=str(exc))
                 continue
             except FilesystemError as exc:
                 self.blocked.append((path, f"move failed: {exc}"))
+                self.note_strike(path, blocked=True,
+                                 reason=f"move failed: {exc}")
                 continue
             self.swaps.append(path)
+            self.note_strike(path)

@@ -80,6 +80,29 @@ class TransactionTrace:
         """Step -> mechanism map (the Figure 1 'design variant' row)."""
         return {entry.step: entry.mechanism for entry in self.steps}
 
+    def emit_spans(self, recorder: Any, **attrs: Any) -> None:
+        """Replay this transaction into an observability recorder.
+
+        One span per recorded step (``ait/download``, ``ait/install``,
+        ...), keyed on the simulated-time interval the step occupied.
+        A step that never completed gets a zero-length span tagged
+        ``aborted``.  Extra ``attrs`` ride on every span.
+        """
+        if not getattr(recorder, "enabled", False):
+            return
+        for entry in self.steps:
+            aborted = entry.end_ns < 0
+            recorder.span(
+                f"ait/{entry.step.name.lower()}",
+                entry.start_ns,
+                entry.start_ns if aborted else entry.end_ns,
+                installer=self.installer_package,
+                package=self.target_package,
+                mechanism=entry.mechanism,
+                aborted=aborted,
+                **attrs,
+            )
+
     def describe(self) -> str:
         """Multi-line rendering of the transaction (Figure 1 style)."""
         lines = [

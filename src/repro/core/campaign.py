@@ -144,8 +144,33 @@ class Campaign:
         for index, package in enumerate(packages):
             arm_now = arm_attacker and (index == 0 or rearm_between)
             outcome = self.scenario.run_install(package, arm_attacker=arm_now)
+            alarms_before = self.stats.alarms
+            blocked_before = self.stats.blocked
             self.stats.record(outcome, self.scenario.defense_reports())
+            self._observe_run(outcome, index,
+                              self.stats.alarms - alarms_before,
+                              self.stats.blocked - blocked_before)
         return self.stats
+
+    def _observe_run(self, outcome: InstallOutcome, index: int,
+                     alarm_delta: int, blocked_delta: int) -> None:
+        """Narrate one campaign run to the observability layer."""
+        obs = self.scenario.obs
+        if obs.enabled and (alarm_delta or blocked_delta):
+            obs.event(
+                "campaign/defense_reaction", self.scenario.system.now_ns,
+                package=outcome.requested_package, run_index=index,
+                alarms=alarm_delta, blocked=blocked_delta,
+            )
+        metrics = self.scenario.metrics
+        if metrics is not None:
+            metrics.counter("campaign/runs").inc()
+            metrics.counter("campaign/alarms").inc(alarm_delta)
+            metrics.counter("campaign/blocked").inc(blocked_delta)
+            if alarm_delta:
+                metrics.counter("campaign/alarmed_runs").inc()
+            if blocked_delta:
+                metrics.counter("campaign/blocked_runs").inc()
 
 
 def benign_workload(scenario: Scenario, count: int,

@@ -39,6 +39,8 @@ from repro.android.system import AndroidSystem
 from repro.attacks.base import ATTACKER_PAYLOAD, MaliciousApp
 from repro.core.outcomes import DefenseReport, InstallOutcome
 from repro.installers.base import BaseInstaller
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, NullRecorder
 from repro.sim.clock import seconds
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -71,6 +73,16 @@ class Scenario:
     listings: Dict[str, object] = field(default_factory=dict)
     extra_installers: List[BaseInstaller] = field(default_factory=list)
 
+    @property
+    def obs(self) -> NullRecorder:
+        """The device's trace recorder (NULL_RECORDER when off)."""
+        return self.system.obs
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The device's metrics registry (None when off)."""
+        return self.system.metrics
+
     # -- construction -------------------------------------------------------------
 
     @classmethod
@@ -79,15 +91,19 @@ class Scenario:
               attacker_factory: Optional[Callable[["Scenario"], MaliciousApp]] = None,
               device: Optional[DeviceProfile] = None,
               defenses: Sequence[DefenseName] = (),
-              seed: int = 7) -> "Scenario":
+              seed: int = 7,
+              recorder: Optional[NullRecorder] = None,
+              metrics: Optional[MetricsRegistry] = None) -> "Scenario":
         """Provision a device with ``installer`` and optional extras.
 
         ``attacker`` may be a MaliciousApp subclass whose constructor
         takes no arguments; attacks needing configuration (fingerprints,
         victim names) use ``attacker_factory``, called with the
-        half-built scenario.
+        half-built scenario.  ``recorder``/``metrics`` switch on
+        observability for the device and everything attached to it.
         """
-        system = AndroidSystem(profile=device or nexus5(), seed=seed)
+        system = AndroidSystem(profile=device or nexus5(), seed=seed,
+                               recorder=recorder, metrics=metrics)
         installer_app = installer if isinstance(installer, BaseInstaller) else installer()
         scenario = cls(system=system, installer=installer_app)
         scenario._provision_installer()
@@ -175,8 +191,10 @@ class Scenario:
             self.system.attach(self.dapp)
         if "intent-detection" in defenses:
             self.intent_detection = IntentDetectionScheme().install(self.system.firewall)
+            self.intent_detection.bind_observability(self.system.obs)
         if "intent-origin" in defenses:
             self.intent_origin = IntentOriginScheme().install(self.system.firewall)
+            self.intent_origin.bind_observability(self.system.obs)
 
     # -- store content ------------------------------------------------------------------
 
@@ -220,7 +238,37 @@ class Scenario:
             name=f"ait-{package}",
         )
         self.system.run()
-        return self._outcome(package, process, start_ns, runner)
+        outcome = self._outcome(package, process, start_ns, runner)
+        self._observe_outcome(outcome)
+        return outcome
+
+    def _observe_outcome(self, outcome: InstallOutcome) -> None:
+        """Replay one AIT's result into the observability layer."""
+        obs = self.system.obs
+        if obs.enabled:
+            if outcome.trace is not None:
+                outcome.trace.emit_spans(obs)
+            obs.event(
+                "install/outcome", self.system.now_ns,
+                package=outcome.requested_package,
+                installed=outcome.installed,
+                hijacked=outcome.hijacked,
+                error=outcome.error or "",
+            )
+            if outcome.hijacked:
+                obs.event("attack/hijack", self.system.now_ns,
+                          package=outcome.requested_package,
+                          signer=outcome.installed_certificate_owner or "")
+        metrics = self.system.metrics
+        if metrics is not None:
+            metrics.counter("ait/runs").inc()
+            if outcome.installed:
+                metrics.counter("ait/installed").inc()
+            if outcome.hijacked:
+                metrics.counter("ait/hijacked").inc()
+            if outcome.error is not None:
+                metrics.counter("ait/errors").inc()
+            metrics.histogram("ait/elapsed_ns").observe(outcome.elapsed_ns)
 
     def _arm_attacker(self) -> None:
         arm = getattr(self.attacker, "arm", None)

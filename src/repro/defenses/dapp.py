@@ -188,6 +188,10 @@ class Dapp(App):
 
     def _flag(self, message: str) -> None:
         self.report.alarms.append(message)
+        obs = self.system.obs
+        if obs.enabled:
+            obs.event("defense/alarm", self.system.now_ns,
+                      defense=self.report.defense_name, reason=message)
 
     # -- introspection ---------------------------------------------------------------------
 

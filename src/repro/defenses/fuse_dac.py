@@ -26,6 +26,7 @@ from repro.errors import AccessDenied
 from repro.android.filesystem import Caller, Filesystem, Inode
 from repro.android.fuse import FuseDaemon
 from repro.core.outcomes import DefenseReport
+from repro.obs.trace import NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,13 @@ class HardenedFuseDaemon(FuseDaemon):
     def __init__(self) -> None:
         self.apk_list: Dict[str, ApkListEntry] = {}
         self.report = DefenseReport(defense_name="FUSE-DAC")
+        self._obs = NULL_RECORDER
+        self._clock = None
+
+    def bind_observability(self, recorder, clock=None) -> None:
+        """Route block decisions to ``recorder`` (timed via ``clock``)."""
+        self._obs = recorder
+        self._clock = clock
 
     # -- derive_permissions_locked ------------------------------------------------
 
@@ -132,6 +140,10 @@ class HardenedFuseDaemon(FuseDaemon):
 
     def _block(self, message: str) -> None:
         self.report.blocked_operations.append(message)
+        if self._obs.enabled:
+            when_ns = self._clock.now_ns if self._clock is not None else 0
+            self._obs.event("defense/block", when_ns,
+                            defense=self.report.defense_name, reason=message)
 
 
 def install_fuse_dac(system: "object") -> HardenedFuseDaemon:
@@ -140,6 +152,7 @@ def install_fuse_dac(system: "object") -> HardenedFuseDaemon:
     Returns the daemon so callers can read its report and APK list.
     """
     daemon = HardenedFuseDaemon()
+    daemon.bind_observability(system.obs, system.kernel.clock)
     system.fs.set_policy(system.layout.external_root, daemon)
     system.fuse_daemon = daemon
     return daemon

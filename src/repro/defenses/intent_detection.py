@@ -23,6 +23,7 @@ from repro.android.intent_firewall import (
     IntentRecord,
 )
 from repro.core.outcomes import DefenseReport
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.clock import seconds
 
 DEFAULT_THRESHOLD_NS = seconds(1)
@@ -38,11 +39,16 @@ class IntentDetectionScheme:
         self.block_on_alarm = block_on_alarm
         self._last_by_recipient: Dict[str, IntentRecord] = {}
         self.report = DefenseReport(defense_name="Intent-Detection")
+        self._obs = NULL_RECORDER
 
     def install(self, firewall: IntentFirewall) -> "IntentDetectionScheme":
         """Register with ``firewall``; returns self for chaining."""
         firewall.add_inspector(self.inspect)
         return self
+
+    def bind_observability(self, recorder) -> None:
+        """Route alarm/block decisions to ``recorder``."""
+        self._obs = recorder
 
     def inspect(self, record: IntentRecord) -> InspectionResult:
         """The logic run inside IntentFirewall.checkIntent."""
@@ -61,6 +67,11 @@ class IntentDetectionScheme:
             f"Intent after {interval / 1e6:.0f} ms"
         )
         self.report.alarms.append(alarm)
+        if self._obs.enabled:
+            self._obs.event(
+                "defense/alarm", record.delivery_time_ns,
+                defense=self.report.defense_name, reason=alarm,
+                blocked=self.block_on_alarm)
         if self.block_on_alarm:
             self.report.blocked_operations.append(alarm)
             return InspectionResult(allow=False, alarm=alarm)

@@ -19,6 +19,7 @@ from repro.android.intent_firewall import (
     IntentRecord,
 )
 from repro.core.outcomes import DefenseReport
+from repro.obs.trace import NULL_RECORDER
 
 
 class IntentOriginScheme:
@@ -27,14 +28,25 @@ class IntentOriginScheme:
     def __init__(self) -> None:
         self.report = DefenseReport(defense_name="Intent-Origin")
         self.stamped: List[str] = []
+        self._obs = NULL_RECORDER
 
     def install(self, firewall: IntentFirewall) -> "IntentOriginScheme":
         """Register with ``firewall``; returns self for chaining."""
         firewall.add_inspector(self.inspect)
         return self
 
+    def bind_observability(self, recorder) -> None:
+        """Route stamping decisions to ``recorder``."""
+        self._obs = recorder
+
     def inspect(self, record: IntentRecord) -> InspectionResult:
         """The setIntentOrigin call inside checkIntent."""
         record.intent.set_intent_origin(record.sender_package)
         self.stamped.append(record.sender_package)
+        if self._obs.enabled:
+            self._obs.event(
+                "defense/stamp", record.delivery_time_ns,
+                defense=self.report.defense_name,
+                sender=record.sender_package,
+                recipient=record.recipient_package)
         return InspectionResult()

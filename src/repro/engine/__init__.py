@@ -27,25 +27,42 @@ from repro.engine.merge import (
     merge_stats,
     wilson_interval,
 )
-from repro.engine.progress import ConsoleProgress, FleetProgress, NullProgress
-from repro.engine.spec import ATTACKS, DEVICES, CampaignSpec, ShardSpec
+from repro.engine.progress import (
+    ConsoleProgress,
+    FleetProgress,
+    MetricsProgress,
+    NullProgress,
+    TeeProgress,
+)
+from repro.engine.spec import (
+    ATTACKS,
+    CHAOS_MODES,
+    DEVICES,
+    CampaignSpec,
+    ShardSpec,
+    parse_chaos,
+)
 
 __all__ = [
     "ATTACKS",
+    "CHAOS_MODES",
     "DEVICES",
     "CampaignSpec",
     "ConsoleProgress",
     "FleetExecutor",
     "FleetProgress",
     "FleetReport",
+    "MetricsProgress",
     "NullProgress",
     "OutcomeRecord",
     "ShardResult",
     "ShardSpec",
+    "TeeProgress",
     "compact_stats",
     "default_workers",
     "merge_stats",
     "multiprocessing_usable",
+    "parse_chaos",
     "run_fleet",
     "run_shard",
     "wilson_interval",

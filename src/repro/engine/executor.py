@@ -25,8 +25,10 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 from repro.core.campaign import Campaign
 from repro.engine.merge import FleetReport, ShardResult, compact_stats
 from repro.engine.progress import FleetProgress, NullProgress
-from repro.engine.spec import CampaignSpec, ShardSpec
+from repro.engine.spec import CampaignSpec, ShardSpec, parse_chaos
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 
 _OK = "ok"
 _ERROR = "error"
@@ -45,12 +47,17 @@ def run_shard(shard: ShardSpec) -> ShardResult:
 
     Provisions a fresh device from the shard spec, publishes the
     shard's slice of the global workload, runs the installs, and
-    returns compacted (picklable, trace-free) stats.
+    returns compacted (picklable, trace-free) stats.  When the
+    campaign spec has ``observe=True`` the shard also carries its
+    trace records and metrics snapshot (simulated-time only, so both
+    are deterministic for a fixed shard spec).
     """
     started = time.perf_counter()
-    scenario = shard.build_scenario()
-    packages = shard.publish_workload(scenario)
     spec = shard.campaign
+    recorder = TraceRecorder() if spec.observe else None
+    metrics = MetricsRegistry() if spec.observe else None
+    scenario = shard.build_scenario(recorder=recorder, metrics=metrics)
+    packages = shard.publish_workload(scenario)
     campaign = Campaign(scenario)
     campaign.install_many(
         packages,
@@ -64,16 +71,16 @@ def run_shard(shard: ShardSpec) -> ShardResult:
         stats=compact_stats(campaign.stats),
         wall_seconds=time.perf_counter() - started,
         backend="serial",
+        trace=recorder.records() if recorder is not None else None,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )
 
 
 def _chaos_indices(spec: CampaignSpec, mode: str) -> Set[int]:
-    if not spec.chaos:
+    chaos_mode, indices = parse_chaos(spec.chaos)
+    if chaos_mode != mode:
         return set()
-    name, _, raw = spec.chaos.partition(":")
-    if name != mode:
-        return set()
-    return {int(part) for part in raw.split(",") if part}
+    return set(indices)
 
 
 def _shard_entry(result_queue, shard: ShardSpec) -> None:
@@ -149,14 +156,17 @@ class FleetExecutor:
         workers = 1 if backend == "serial" else min(self.workers,
                                                     len(shard_specs) or 1)
         self.progress.on_fleet_start(spec, len(shard_specs), workers, backend)
+        counters = {"retries": 0, "timeouts": 0, "crashes": 0,
+                    "errors": 0, "fallbacks": 0}
         if backend == "serial":
             results = self._run_serial(shard_specs)
         else:
-            results = self._run_pool(shard_specs, workers)
+            results = self._run_pool(shard_specs, workers, counters)
         report = FleetReport.from_shards(
             spec, results,
             wall_seconds=time.perf_counter() - started,
             workers=workers, backend=backend,
+            counters=counters,
         )
         self.progress.on_fleet_done(report)
         return report
@@ -186,8 +196,8 @@ class FleetExecutor:
 
     # -- process backend ------------------------------------------------------
 
-    def _run_pool(self, shard_specs: List[ShardSpec],
-                  workers: int) -> List[ShardResult]:
+    def _run_pool(self, shard_specs: List[ShardSpec], workers: int,
+                  counters: Dict[str, int]) -> List[ShardResult]:
         import multiprocessing
 
         context = multiprocessing.get_context()
@@ -213,7 +223,7 @@ class FleetExecutor:
             else:
                 self._retry(pending, fallback, attempts,
                             self._shard_by_index(shard_specs, index),
-                            str(payload))
+                            str(payload), counters, "errors")
 
         def drain(timeout: float) -> int:
             handled = 0
@@ -243,7 +253,8 @@ class FleetExecutor:
                     process.start()
                     running[shard.index] = (process, time.monotonic(), shard)
                 drain(_POLL_SECONDS)
-                self._reap(running, pending, fallback, attempts, drain)
+                self._reap(running, pending, fallback, attempts, drain,
+                           counters)
         finally:
             for process, _, _ in running.values():
                 process.terminate()
@@ -251,6 +262,7 @@ class FleetExecutor:
             result_queue.close()
 
         for shard in fallback:
+            counters["fallbacks"] += 1
             attempts[shard.index] += 1
             self.progress.on_shard_start(shard, attempts[shard.index])
             result = run_shard(shard)
@@ -260,7 +272,8 @@ class FleetExecutor:
             self.progress.on_shard_done(result, len(results), total)
         return list(results.values())
 
-    def _reap(self, running, pending, fallback, attempts, drain) -> None:
+    def _reap(self, running, pending, fallback, attempts, drain,
+              counters) -> None:
         """Police timeouts and detect crashed workers."""
         now = time.monotonic()
         for index, (process, started_at, shard) in list(running.items()):
@@ -270,7 +283,8 @@ class FleetExecutor:
                 process.join()
                 running.pop(index)
                 self._retry(pending, fallback, attempts, shard,
-                            f"timeout after {self.shard_timeout:.1f}s")
+                            f"timeout after {self.shard_timeout:.1f}s",
+                            counters, "timeouts")
             elif not process.is_alive():
                 # Its result may still be in flight: give the queue one
                 # final chance before declaring a crash.
@@ -280,12 +294,15 @@ class FleetExecutor:
                 process.join()
                 running.pop(index)
                 self._retry(pending, fallback, attempts, shard,
-                            f"worker crashed (exit code {process.exitcode})")
+                            f"worker crashed (exit code {process.exitcode})",
+                            counters, "crashes")
 
-    def _retry(self, pending, fallback, attempts,
-               shard: ShardSpec, reason: str) -> None:
+    def _retry(self, pending, fallback, attempts, shard: ShardSpec,
+               reason: str, counters: Dict[str, int], kind: str) -> None:
+        counters[kind] += 1
         self.progress.on_shard_retry(shard, attempts[shard.index], reason)
         if attempts[shard.index] <= self.max_retries:
+            counters["retries"] += 1
             pending.append(shard)
         else:
             fallback.append(shard)

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.campaign import CampaignStats
 from repro.core.outcomes import InstallOutcome
 from repro.engine.spec import CampaignSpec
+from repro.obs.metrics import Snapshot, merge_snapshots
 
 
 @dataclass(frozen=True)
@@ -106,7 +107,13 @@ def wilson_interval(successes: int, trials: int,
 
 @dataclass
 class ShardResult:
-    """What one shard execution produced."""
+    """What one shard execution produced.
+
+    ``trace``/``metrics`` are populated only when the campaign spec has
+    ``observe=True``: the shard's simulated-time trace records and its
+    metrics snapshot (both deterministic for a fixed shard spec —
+    wall-clock stays in ``wall_seconds``, beside them).
+    """
 
     shard_index: int
     start: int
@@ -115,11 +122,20 @@ class ShardResult:
     wall_seconds: float
     attempts: int = 1
     backend: str = "process"
+    trace: Optional[List[Dict[str, Any]]] = None
+    metrics: Optional[Snapshot] = None
 
 
 @dataclass
 class FleetReport:
-    """Merged stats plus fleet-level aggregates of one engine run."""
+    """Merged stats plus fleet-level aggregates of one engine run.
+
+    ``metrics`` is the fold of the per-shard snapshots in shard-index
+    order (None unless the spec had ``observe=True``); ``counters``
+    holds the executor's retry/timeout/crash/fallback tallies, which
+    depend on wall-clock scheduling and therefore live beside the
+    deterministic metrics, never inside them.
+    """
 
     spec: CampaignSpec
     shards: List[ShardResult] = field(default_factory=list)
@@ -127,12 +143,17 @@ class FleetReport:
     wall_seconds: float = 0.0
     workers: int = 1
     backend: str = "serial"
+    metrics: Optional[Snapshot] = None
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_shards(cls, spec: CampaignSpec, shards: List[ShardResult],
-                    wall_seconds: float, workers: int,
-                    backend: str) -> "FleetReport":
+                    wall_seconds: float, workers: int, backend: str,
+                    counters: Optional[Dict[str, int]] = None,
+                    ) -> "FleetReport":
         ordered = sorted(shards, key=lambda shard: shard.shard_index)
+        snapshots = [shard.metrics for shard in ordered
+                     if shard.metrics is not None]
         return cls(
             spec=spec,
             shards=ordered,
@@ -140,7 +161,25 @@ class FleetReport:
             wall_seconds=wall_seconds,
             workers=workers,
             backend=backend,
+            metrics=merge_snapshots(snapshots) if snapshots else None,
+            counters=dict(counters or {}),
         )
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """All shard trace records in shard-index order, shard-tagged.
+
+        Per-shard records are deterministic, and the concatenation
+        order is the shard index, so the whole list (and its JSONL
+        export) is byte-identical for a fixed ``(spec, shard count)``
+        regardless of worker count or backend.
+        """
+        records = []
+        for shard in self.shards:
+            for record in shard.trace or ():
+                tagged = dict(record)
+                tagged["shard"] = shard.shard_index
+                records.append(tagged)
+        return records
 
     # -- aggregates ------------------------------------------------------------
 
@@ -197,4 +236,13 @@ class FleetReport:
             f"  shard time : min {tmin:.2f}s / mean {tmean:.2f}s / "
             f"max {tmax:.2f}s" + (f"  ({retried} retried)" if retried else ""),
         ]
+        if any(self.counters.values()):
+            counts = self.counters
+            lines.append(
+                "  faults     : "
+                f"{counts.get('timeouts', 0)} timeout(s), "
+                f"{counts.get('crashes', 0)} crash(es), "
+                f"{counts.get('errors', 0)} error(s), "
+                f"{counts.get('retries', 0)} retried, "
+                f"{counts.get('fallbacks', 0)} serial fallback(s)")
         return "\n".join(lines)

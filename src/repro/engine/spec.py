@@ -60,6 +60,38 @@ def workload_package(index: int) -> str:
     return f"com.fleet.app{index:06d}"
 
 
+#: Failure-injection modes a chaos spec may name.
+CHAOS_MODES = ("crash", "hang", "error")
+
+
+def parse_chaos(chaos: Optional[str]) -> Tuple[str, Tuple[int, ...]]:
+    """Parse and validate a ``mode:i,j,...`` chaos spec.
+
+    Validation happens here — once, up front, in the parent process —
+    so a malformed spec raises a clean :class:`ReproError` (CLI exit 2)
+    instead of a raw ``ValueError`` from inside worker scheduling.
+    Returns ``(mode, indices)``; ``("", ())`` when ``chaos`` is None.
+    """
+    if chaos is None:
+        return ("", ())
+    mode, _, raw = chaos.partition(":")
+    if mode not in CHAOS_MODES:
+        raise ReproError(
+            f"invalid chaos spec {chaos!r}: unknown mode {mode!r} "
+            f"(valid: {CHAOS_MODES})")
+    indices = []
+    for part in raw.split(","):
+        if not part:
+            continue
+        try:
+            indices.append(int(part))
+        except ValueError:
+            raise ReproError(
+                f"invalid chaos spec {chaos!r}: {part!r} is not a "
+                "shard index") from None
+    return (mode, tuple(indices))
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """One fleet campaign: scenario recipe x workload x seed."""
@@ -76,10 +108,13 @@ class CampaignSpec:
     #: Test-only failure injection, e.g. ``"crash:1"`` or ``"hang:0"``
     #: (only honoured inside pool worker processes, never in-process).
     chaos: Optional[str] = None
+    #: Record per-shard traces and metric snapshots (repro.obs).
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.installs < 0:
             raise ReproError(f"installs must be >= 0, got {self.installs}")
+        parse_chaos(self.chaos)  # raises on a malformed spec
         installer_by_name(self.installer)  # raises on unknown name
         if self.attack not in ATTACKS:
             raise ReproError(
@@ -155,8 +190,13 @@ class ShardSpec:
         """Number of installs this shard runs."""
         return self.stop - self.start
 
-    def build_scenario(self) -> Scenario:
-        """Provision this shard's fresh device from the spec."""
+    def build_scenario(self, recorder=None, metrics=None) -> Scenario:
+        """Provision this shard's fresh device from the spec.
+
+        ``recorder``/``metrics`` are the shard-local observability
+        sinks (:mod:`repro.obs`); the executor creates them when the
+        campaign spec has ``observe=True``.
+        """
         spec = self.campaign
         installer_cls = installer_by_name(spec.installer)
         attacker_cls = ATTACKS[spec.attack]
@@ -169,6 +209,8 @@ class ShardSpec:
             device=DEVICES[spec.device](),
             defenses=spec.defenses,
             seed=self.seed,
+            recorder=recorder,
+            metrics=metrics,
         )
 
     def publish_workload(self, scenario: Scenario) -> List[str]:

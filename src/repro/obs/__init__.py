@@ -1,0 +1,54 @@
+"""Observability: structured tracing and metrics for the whole stack.
+
+Three pieces, threaded through the simulator, the core scenario layer,
+the defenses and the fleet engine:
+
+- :mod:`repro.obs.trace` — span/event recording keyed on *simulated*
+  time, with a zero-overhead :data:`NULL_RECORDER` default,
+- :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  deterministic, mergeable snapshots (wall-clock never enters a metric
+  value; timing is reported beside them),
+- :mod:`repro.obs.export` — canonical JSONL trace export plus text
+  summaries (the ``--trace``/``--metrics`` CLI flags).
+
+The determinism contract of :mod:`repro.engine` extends here: for a
+fixed seed, a shard's exported trace is byte-identical across runs,
+worker counts and backends, and per-shard metric snapshots merged in
+shard order are bit-identical.
+"""
+
+from repro.obs.export import (
+    load_trace_jsonl,
+    render_metrics,
+    render_trace_summary,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    snapshot_names,
+)
+from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
+
+__all__ = [
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "TraceRecorder",
+    "empty_snapshot",
+    "load_trace_jsonl",
+    "merge_snapshots",
+    "render_metrics",
+    "render_trace_summary",
+    "snapshot_names",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+]

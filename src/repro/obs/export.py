@@ -1,0 +1,122 @@
+"""Exporters: JSONL traces and human-readable text summaries.
+
+The JSONL form is canonical — one record per line, keys sorted,
+compact separators — so a deterministic record stream serializes to
+byte-identical output.  ``load_trace_jsonl`` round-trips it, which is
+what the CI smoke job uses to validate trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import Snapshot
+from repro.obs.trace import EVENT, SPAN
+
+#: Keys every trace record must carry, by record type.
+REQUIRED_KEYS = {
+    SPAN: ("name", "start_ns", "end_ns"),
+    EVENT: ("name", "t_ns"),
+}
+
+
+def trace_to_jsonl(records: Iterable[Dict[str, Any]]) -> str:
+    """Serialize records to canonical JSONL (byte-stable for a fixed
+    record stream)."""
+    lines = [json.dumps(record, sort_keys=True, separators=(",", ":"))
+             for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
+    """Write records to ``path`` as JSONL; returns the record count."""
+    payload = trace_to_jsonl(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return payload.count("\n")
+
+
+def load_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse and validate a JSONL trace file.
+
+    Raises :class:`ReproError` on malformed JSON or records missing
+    the required span/event keys — the CI smoke job's check.
+    """
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            kind = record.get("type")
+            required = REQUIRED_KEYS.get(kind)
+            if required is None:
+                raise ReproError(
+                    f"{path}:{line_number}: unknown record type {kind!r}")
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ReproError(
+                    f"{path}:{line_number}: {kind} record missing {missing}")
+            records.append(record)
+    return records
+
+
+def render_trace_summary(records: Iterable[Dict[str, Any]]) -> str:
+    """Aggregate a record stream into a per-name text table.
+
+    Spans report count and total simulated time; events report count.
+    """
+    span_count: "OrderedDict[str, int]" = OrderedDict()
+    span_ns: Dict[str, int] = {}
+    event_count: "OrderedDict[str, int]" = OrderedDict()
+    total = 0
+    for record in records:
+        total += 1
+        name = record.get("name", "?")
+        if record.get("type") == SPAN:
+            span_count[name] = span_count.get(name, 0) + 1
+            span_ns[name] = (span_ns.get(name, 0)
+                             + record["end_ns"] - record["start_ns"])
+        else:
+            event_count[name] = event_count.get(name, 0) + 1
+    lines = [f"trace: {total} record(s)"]
+    for name in sorted(span_count):
+        lines.append(
+            f"  span  {name:28s} x{span_count[name]:<6d} "
+            f"{span_ns[name] / 1e6:.2f} ms simulated")
+    for name in sorted(event_count):
+        lines.append(f"  event {name:28s} x{event_count[name]}")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Optional[Snapshot],
+                   title: str = "metrics") -> str:
+    """Human-readable rendering of a metrics snapshot."""
+    if snapshot is None:
+        snapshot = {}
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    size = len(counters) + len(gauges) + len(histograms)
+    lines = [f"{title}: {size} metric(s)"]
+    for name in sorted(counters):
+        lines.append(f"  counter   {name:28s} {counters[name]}")
+    for name in sorted(gauges):
+        lines.append(f"  gauge     {name:28s} {gauges[name]}")
+    for name in sorted(histograms):
+        summary = histograms[name]
+        count = summary.get("count", 0)
+        mean = (summary.get("sum", 0) / count) if count else 0.0
+        lines.append(
+            f"  histogram {name:28s} count={count} "
+            f"mean={mean:.1f} min={summary.get('min')} "
+            f"max={summary.get('max')}")
+    return "\n".join(lines)

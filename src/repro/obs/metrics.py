@@ -1,0 +1,177 @@
+"""Counter/gauge/histogram registry with deterministic snapshots.
+
+Metric values derive only from simulated quantities (event counts,
+simulated-nanosecond durations, queue depths), never from wall-clock
+readings — wall-clock timing is reported *beside* metrics, the way
+:mod:`repro.engine.merge` reports shard timing beside merged stats.
+Snapshots are plain nested dicts with sorted keys, so two runs of the
+same seed produce bit-identical snapshots, and per-shard snapshots
+merged in shard order are bit-identical for any worker count.
+
+Merge semantics: counters add, gauges keep the maximum (they track
+high-water marks), histogram summaries combine count/sum/min/max.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Snapshot section names, in render order.
+KINDS = ("counters", "gauges", "histograms")
+
+Snapshot = Dict[str, Dict[str, object]]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        self.value += amount
+
+
+class Gauge:
+    """A high-water mark: ``set`` keeps the largest value seen."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Raise the gauge to ``value`` if it is a new maximum."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A summary histogram: count, sum, min and max of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation, 0.0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Picklable summary dict (``min``/``max`` are None when empty)."""
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    Names are free-form but the codebase uses ``layer/metric`` paths
+    (``kernel/events_dispatched``, ``campaign/hijacks``) so snapshots
+    group naturally by subsystem.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def snapshot(self) -> Snapshot:
+        """Deterministic, picklable state dump (sorted names)."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].summary()
+                           for name in sorted(self._histograms)},
+        }
+
+
+def empty_snapshot() -> Snapshot:
+    """The merge identity: a snapshot with no metrics."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Fold snapshots left-to-right (associative, identity = empty).
+
+    Folding per-shard snapshots in shard-index order makes the merged
+    snapshot independent of worker count and completion order.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, 0), value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(summary)
+                continue
+            merged["count"] += summary["count"]
+            merged["sum"] += summary["sum"]
+            merged["min"] = _fold_extreme(merged["min"], summary["min"], min)
+            merged["max"] = _fold_extreme(merged["max"], summary["max"], max)
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+    }
+
+
+def _fold_extreme(left, right, pick):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return pick(left, right)
+
+
+def snapshot_names(snapshot: Snapshot) -> List[str]:
+    """Every metric name in ``snapshot``, sorted, kind-prefixed."""
+    names = []
+    for kind in KINDS:
+        names.extend(f"{kind}:{name}" for name in sorted(snapshot.get(kind, {})))
+    return names

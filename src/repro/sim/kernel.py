@@ -8,6 +8,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, NullRecorder
 from repro.sim.clock import SimClock
 
 
@@ -87,9 +89,19 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.completion = SimEvent(name=f"{name}.completion")
+        self.spawned_ns = kernel.clock.now_ns
+        self.steps = 0
+        self._last_step_ns = self.spawned_ns
 
     def _step(self, send_value: Any) -> None:
         """Advance the generator by one yield and act on what it asks for."""
+        metrics = self._kernel.metrics
+        if metrics is not None:
+            now_ns = self._kernel.clock.now_ns
+            metrics.histogram("kernel/step_latency_ns").observe(
+                now_ns - self._last_step_ns)
+            self._last_step_ns = now_ns
+        self.steps += 1
         try:
             yielded = self._gen.send(send_value)
         except StopIteration as stop:
@@ -121,6 +133,16 @@ class Process:
         self.result = result
         self.error = error
         self._kernel._active_processes.discard(self)
+        kernel = self._kernel
+        if kernel.obs.enabled:
+            kernel.obs.span(
+                "kernel/process", self.spawned_ns, kernel.clock.now_ns,
+                process=self.name, steps=self.steps,
+                error=type(error).__name__ if error is not None else "")
+        if kernel.metrics is not None:
+            kernel.metrics.counter("kernel/processes_finished").inc()
+            if error is not None:
+                kernel.metrics.counter("kernel/processes_failed").inc()
         self.completion.trigger(result)
         if error is not None:
             self._kernel._failures.append((self, error))
@@ -131,10 +153,21 @@ class Process:
 
 
 class Kernel:
-    """Event loop owning the clock, the event queue and all processes."""
+    """Event loop owning the clock, the event queue and all processes.
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    ``recorder``/``metrics`` switch on observability: process-lifetime
+    spans go to the recorder, dispatch counts / queue-depth high-water /
+    per-step latency go to the registry.  Both default to off
+    (:data:`~repro.obs.trace.NULL_RECORDER` and ``None``), costing hot
+    paths a single attribute check.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 recorder: Optional[NullRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.clock = clock or SimClock()
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics
         self._queue: List[Any] = []
         self._sequence = itertools.count()
         self._active_processes: set = set()
@@ -176,25 +209,42 @@ class Kernel:
         Raises:
             DeadlockError: if processes are still alive but no events
                 remain, meaning they wait on events nobody will trigger.
+            SimulationError: if ``max_events`` events were dispatched
+                and more remain queued (a runaway loop).  Draining the
+                queue with exactly ``max_events`` dispatches is fine.
         """
+        track = self.metrics is not None
+        queue_peak = 0
         dispatched = 0
         while self._queue:
+            if track and len(self._queue) > queue_peak:
+                queue_peak = len(self._queue)
             when_ns, _seq, callback = self._queue[0]
             if until_ns is not None and when_ns > until_ns:
                 self.clock.advance_to(until_ns)
+                if track:
+                    self._account_run(dispatched, queue_peak)
                 return dispatched
             heapq.heappop(self._queue)
             self.clock.advance_to(when_ns)
             callback()
             dispatched += 1
-            if dispatched >= max_events:
+            if dispatched >= max_events and self._queue:
                 raise SimulationError(f"exceeded {max_events} events; likely a livelock")
+        if track:
+            self._account_run(dispatched, queue_peak)
         if until_ns is not None:
             self.clock.advance_to(until_ns)
         if self._active_processes and until_ns is None:
             stuck = sorted(proc.name for proc in self._active_processes)
             raise DeadlockError(f"processes still waiting with empty queue: {stuck}")
         return dispatched
+
+    def _account_run(self, dispatched: int, queue_peak: int) -> None:
+        """Fold one ``run`` call's dispatch accounting into the registry."""
+        self.metrics.counter("kernel/events_dispatched").inc(dispatched)
+        self.metrics.counter("kernel/run_calls").inc()
+        self.metrics.gauge("kernel/queue_depth_peak").set(queue_peak)
 
     def run_process(self, gen: ProcessGenerator, name: str = "") -> Any:
         """Spawn ``gen``, run to completion, and return its result.

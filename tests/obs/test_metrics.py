@@ -1,0 +1,119 @@
+"""Tests for the metrics registry and snapshot merge semantics."""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    snapshot_names,
+)
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.counter("runs").inc()
+    registry.counter("runs").inc(4)
+    assert registry.snapshot()["counters"]["runs"] == 5
+
+
+def test_gauge_keeps_high_water_mark():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.set(3)
+    gauge.set(1)
+    gauge.set(7)
+    gauge.set(2)
+    assert registry.snapshot()["gauges"]["depth"] == 7
+
+
+def test_histogram_summary():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in (10, 30, 20):
+        histogram.observe(value)
+    assert histogram.mean == 20.0
+    assert registry.snapshot()["histograms"]["latency"] == {
+        "count": 3, "sum": 60, "min": 10, "max": 30}
+
+
+def test_empty_histogram_summary():
+    registry = MetricsRegistry()
+    registry.histogram("untouched")
+    summary = registry.snapshot()["histograms"]["untouched"]
+    assert summary == {"count": 0, "sum": 0, "min": None, "max": None}
+    assert registry.histogram("untouched").mean == 0.0
+
+
+def test_metrics_created_on_first_use_and_reused():
+    registry = MetricsRegistry()
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_snapshot_names_are_sorted():
+    registry = MetricsRegistry()
+    registry.counter("z")
+    registry.counter("a")
+    registry.gauge("m")
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "z"]
+    assert snapshot_names(snapshot) == ["counters:a", "counters:z", "gauges:m"]
+
+
+def test_merge_adds_counters_maxes_gauges_folds_histograms():
+    left = MetricsRegistry()
+    left.counter("runs").inc(3)
+    left.gauge("depth").set(5)
+    left.histogram("lat").observe(10)
+    right = MetricsRegistry()
+    right.counter("runs").inc(2)
+    right.gauge("depth").set(9)
+    right.histogram("lat").observe(40)
+    merged = merge_snapshots([left.snapshot(), right.snapshot()])
+    assert merged["counters"]["runs"] == 5
+    assert merged["gauges"]["depth"] == 9
+    assert merged["histograms"]["lat"] == {
+        "count": 2, "sum": 50, "min": 10, "max": 40}
+
+
+def test_merge_identity_and_associativity():
+    a = MetricsRegistry()
+    a.counter("x").inc(1)
+    a.histogram("h").observe(5)
+    b = MetricsRegistry()
+    b.counter("x").inc(2)
+    b.histogram("h").observe(1)
+    c = MetricsRegistry()
+    c.gauge("g").set(4)
+    snaps = [a.snapshot(), b.snapshot(), c.snapshot()]
+    with_identity = merge_snapshots([empty_snapshot()] + snaps)
+    left_assoc = merge_snapshots(
+        [merge_snapshots(snaps[:2]), snaps[2]])
+    right_assoc = merge_snapshots(
+        [snaps[0], merge_snapshots(snaps[1:])])
+    assert with_identity == left_assoc == right_assoc
+
+
+def test_merge_handles_empty_histogram_extremes():
+    empty = MetricsRegistry()
+    empty.histogram("h")  # count 0, min/max None
+    full = MetricsRegistry()
+    full.histogram("h").observe(7)
+    merged = merge_snapshots([empty.snapshot(), full.snapshot()])
+    assert merged["histograms"]["h"] == {
+        "count": 1, "sum": 7, "min": 7, "max": 7}
+
+
+def test_merge_of_nothing_is_empty_snapshot():
+    assert merge_snapshots([]) == empty_snapshot()
+
+
+def test_merge_does_not_mutate_inputs():
+    import copy
+
+    source = MetricsRegistry()
+    source.histogram("h").observe(3)
+    snap = source.snapshot()
+    before = copy.deepcopy(snap)
+    merge_snapshots([snap, snap])
+    assert snap == before

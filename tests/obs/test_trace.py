@@ -1,0 +1,68 @@
+"""Tests for the span/event trace recorder."""
+
+from repro.obs.trace import EVENT, NULL_RECORDER, SPAN, NullRecorder, TraceRecorder
+
+
+def test_null_recorder_is_disabled_and_empty():
+    assert NULL_RECORDER.enabled is False
+    NULL_RECORDER.event("x", 10, detail="dropped")
+    NULL_RECORDER.span("y", 0, 5)
+    assert NULL_RECORDER.records() == []
+
+
+def test_null_recorder_is_stateless_singleton():
+    # Shared process-wide: no __dict__, nothing to mutate.
+    assert not hasattr(NULL_RECORDER, "__dict__")
+    assert isinstance(NULL_RECORDER, NullRecorder)
+
+
+def test_trace_recorder_is_a_null_recorder():
+    # Call sites type against the null interface; the live recorder
+    # must substitute for it.
+    assert isinstance(TraceRecorder(), NullRecorder)
+    assert TraceRecorder().enabled is True
+
+
+def test_event_record_shape():
+    recorder = TraceRecorder()
+    recorder.event("defense/alarm", 1234, reason="mismatch")
+    assert recorder.records() == [
+        {"type": EVENT, "name": "defense/alarm", "t_ns": 1234,
+         "attrs": {"reason": "mismatch"}}
+    ]
+
+
+def test_event_without_attrs_omits_attrs_key():
+    recorder = TraceRecorder()
+    recorder.event("tick", 1)
+    (record,) = recorder.records()
+    assert "attrs" not in record
+
+
+def test_span_record_shape():
+    recorder = TraceRecorder()
+    recorder.span("ait/download", 100, 900, package="com.a.b")
+    assert recorder.records() == [
+        {"type": SPAN, "name": "ait/download", "start_ns": 100,
+         "end_ns": 900, "attrs": {"package": "com.a.b"}}
+    ]
+
+
+def test_records_preserves_emission_order_and_copies():
+    recorder = TraceRecorder()
+    recorder.event("a", 2)
+    recorder.event("b", 1)  # order is emission order, not time order
+    first = recorder.records()
+    assert [r["name"] for r in first] == ["a", "b"]
+    first.clear()
+    assert len(recorder) == 2  # caller mutations don't reach the recorder
+
+
+def test_times_are_coerced_to_int():
+    recorder = TraceRecorder()
+    recorder.event("e", 1.0)
+    recorder.span("s", 0.0, 2.0)
+    event, span = recorder.records()
+    assert isinstance(event["t_ns"], int)
+    assert isinstance(span["start_ns"], int)
+    assert isinstance(span["end_ns"], int)

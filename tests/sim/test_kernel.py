@@ -205,6 +205,71 @@ def test_max_events_guard():
         kernel.run(max_events=100)
 
 
+def test_max_events_exact_drain_is_not_livelock():
+    # Regression: a run that drains the queue in exactly max_events
+    # dispatches used to be misreported as a livelock.
+    kernel = Kernel()
+    seen = []
+    for index in range(5):
+        kernel.call_later(index, lambda index=index: seen.append(index))
+    kernel.run(max_events=5)
+    assert seen == [0, 1, 2, 3, 4]
+    assert kernel.pending_events() == 0
+
+
+def test_max_events_still_raises_when_events_remain():
+    kernel = Kernel()
+    for index in range(6):
+        kernel.call_later(index, lambda: None)
+    with pytest.raises(SimulationError, match="livelock"):
+        kernel.run(max_events=5)
+
+
+def test_reusable_event_waiter_added_during_trigger_waits_for_next():
+    # Pin the re-arm semantics: a waiter registered from inside a
+    # trigger callback belongs to the *next* trigger, not the current
+    # one (otherwise a poll loop re-arming itself would recurse).
+    event = SimEvent("pulse", reusable=True)
+    seen = []
+
+    def first(value):
+        seen.append(("first", value))
+        event.add_waiter(lambda v: seen.append(("nested", v)))
+
+    event.add_waiter(first)
+    event.trigger(1)
+    assert seen == [("first", 1)]
+    event.trigger(2)
+    assert seen == [("first", 1), ("nested", 2)]
+
+
+def test_reusable_event_untriggered_between_pulses():
+    event = SimEvent("pulse", reusable=True)
+    event.trigger("x")
+    assert event.triggered is False  # re-armed, late waiters must wait
+    late = []
+    event.add_waiter(late.append)
+    assert late == []
+    event.trigger("y")
+    assert late == ["y"]
+
+
+def test_oneshot_event_waiter_added_during_trigger_fires_inline():
+    # Contrast with the reusable case: a one-shot event stays
+    # triggered, so a waiter added during its trigger runs immediately
+    # with the already-published value.
+    event = SimEvent("done")
+    seen = []
+
+    def first(value):
+        seen.append(("first", value))
+        event.add_waiter(lambda v: seen.append(("nested", v)))
+
+    event.add_waiter(first)
+    event.trigger(7)
+    assert seen == [("first", 7), ("nested", 7)]
+
+
 def test_spawn_names_are_generated():
     kernel = Kernel()
 

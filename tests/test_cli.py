@@ -103,3 +103,106 @@ def test_parser_rejects_unknown_installer():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- observability flags -----------------------------------------------------
+
+
+def test_obs_flags_accepted_by_every_command():
+    parser = build_parser()
+    for command in ("demo", "attack", "tables", "audit", "fleet"):
+        args = parser.parse_args([command, "--trace", "t.jsonl", "--metrics"])
+        assert args.trace == "t.jsonl"
+        assert args.metrics is True
+
+
+def test_attack_metrics_flag_prints_snapshot(capsys):
+    assert main(["attack", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "counter   ait/runs" in out
+    assert "histogram ait/elapsed_ns" in out
+
+
+def test_demo_trace_flag_writes_valid_jsonl(tmp_path, capsys):
+    from repro.obs import load_trace_jsonl
+
+    path = str(tmp_path / "demo.jsonl")
+    assert main(["demo", "--trace", path]) == 0
+    records = load_trace_jsonl(path)
+    assert records
+    assert {"attack/strike", "install/outcome"} <= {
+        r["name"] for r in records}
+    assert f"-> {path}" in capsys.readouterr().err
+
+
+def test_fleet_trace_and_metrics(tmp_path, capsys):
+    from repro.obs import load_trace_jsonl
+
+    path = str(tmp_path / "fleet.jsonl")
+    assert main(["fleet", "--installs", "6", "--shards", "2",
+                 "--backend", "serial", "--quiet",
+                 "--attack", "fileobserver", "--trace", path,
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet metrics:" in out
+    assert "counter   campaign/runs" in out
+    assert "engine: 2 shard start(s), 2 done" in out
+    records = load_trace_jsonl(path)
+    assert records
+    assert all("shard" in record for record in records)
+
+
+def test_fleet_without_obs_flags_skips_observability(tmp_path, capsys):
+    assert main(["fleet", "--installs", "2", "--shards", "1",
+                 "--backend", "serial", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics" not in out
+
+
+def test_tables_and_audit_honour_obs_flags(tmp_path, capsys):
+    from repro.obs import load_trace_jsonl
+
+    path = str(tmp_path / "audit.jsonl")
+    assert main(["audit", "--trace", path, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics: 0 metric(s)" in out
+    assert load_trace_jsonl(path) == []  # valid, empty
+
+
+def test_fleet_identical_trace_for_fixed_seed(tmp_path):
+    first = str(tmp_path / "a.jsonl")
+    second = str(tmp_path / "b.jsonl")
+    for path in (first, second):
+        assert main(["fleet", "--installs", "6", "--shards", "3",
+                     "--backend", "serial", "--quiet", "--seed", "5",
+                     "--trace", path]) == 0
+    with open(first, "rb") as a, open(second, "rb") as b:
+        assert a.read() == b.read()
+
+
+# -- chaos spec validation ---------------------------------------------------
+
+
+def test_fleet_invalid_chaos_spec_exits_2(capsys):
+    # Regression: used to escape as a raw ValueError traceback.
+    assert main(["fleet", "--chaos", "crash:bogus", "--installs", "4",
+                 "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "error: invalid chaos spec 'crash:bogus'" in err
+    assert "Traceback" not in err
+
+
+def test_fleet_unknown_chaos_mode_exits_2(capsys):
+    assert main(["fleet", "--chaos", "explode:1", "--installs", "4",
+                 "--quiet"]) == 2
+    assert "unknown mode" in capsys.readouterr().err
+
+
+def test_fleet_zero_installs_is_fine(capsys):
+    assert main(["fleet", "--installs", "0", "--shards", "2",
+                 "--backend", "serial", "--quiet", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "0 installs over 2 shard(s)" in out
+    assert "CI [0.0000, 1.0000]" in out
+    assert "fleet metrics: 0 metric(s)" in out
