@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Forensics: watch a hijack happen on the event timeline.
+"""Forensics: watch a hijack happen on the event timeline — then
+recover the same story from the recorded trace alone.
 
-Runs the DTIgnite hijack with a :class:`~repro.core.timeline.Timeline`
-recording every filesystem event, package broadcast and AIT step, then
-prints the annotated transcript — download, integrity check, the
-attacker's swap landing in the window, and the PMS reading the
-replaced file.
+Runs the DTIgnite hijack twice over the same seed:
+
+1. undefended, with a :class:`~repro.core.timeline.Timeline` narrating
+   the filesystem events and AIT steps as they happen, and
+2. defended by ``fuse-dac``, recording only the observability trace.
+
+Both runs also feed a :class:`~repro.obs.TraceRecorder`, and the
+analysis half of :mod:`repro.obs` — :func:`window_forensics`,
+:func:`critical_path`, :func:`diff_traces` — reconstructs the attack
+window, the latency-dominating span chain, and the defense's effect
+purely from the recorded spans/events: no hand-parsing of records.
 
 Run:  python examples/attack_forensics.py
 """
@@ -15,14 +22,27 @@ from repro.attacks.toctou import FileObserverHijacker
 from repro.core.scenario import Scenario
 from repro.core.timeline import Timeline
 from repro.installers import DTIgniteInstaller
+from repro.obs import (
+    TraceRecorder,
+    critical_path,
+    diff_traces,
+    render_critical_path,
+    render_diff,
+    render_windows,
+    window_forensics,
+)
 
 
-def main():
+def run_hijack(defenses=()):
+    """One DTIgnite install under attack; returns (outcome, records)."""
+    recorder = TraceRecorder()
     scenario = Scenario.build(
         installer=DTIgniteInstaller,
         attacker_factory=lambda s: FileObserverHijacker(
             fingerprint_for(DTIgniteInstaller)
         ),
+        defenses=defenses,
+        recorder=recorder,
     )
     timeline = Timeline(scenario.system).start()
     scenario.publish_app("com.victim.app", label="Victim")
@@ -30,6 +50,11 @@ def main():
                   "swap after 1 CLOSE_NOWRITE")
     outcome = scenario.run_install("com.victim.app")
     timeline.absorb_trace(outcome.trace)
+    return outcome, recorder.records(), timeline
+
+
+def main():
+    outcome, records, timeline = run_hijack()
 
     print("=== transcript (staged file + AIT steps + notes) ===\n")
     staged = "/sdcard/DTIgnite/com.victim.app.apk"
@@ -44,10 +69,24 @@ def main():
 
     print(f"\nhijacked: {outcome.hijacked} "
           f"(installed signer: {outcome.installed_certificate_owner})")
-    print("\nreading the transcript: the CLOSE_WRITE at ~80 ms is the "
-          "download; the CLOSE_NOWRITE at ~1080 ms is DTIgnite's hash "
-          "check; the second CLOSE_WRITE right after it is the attacker's "
-          "swap — inside the 2.5 s window before the PMS read at ~3580 ms.")
+
+    # The same story, recovered from the trace records alone: the
+    # armed->strike window joined against the install outcome.
+    print("\n=== window forensics (from the trace, no hand-parsing) ===\n")
+    print(render_windows(window_forensics(records)))
+
+    print("\n=== critical path of the run ===\n")
+    print(render_critical_path(critical_path(records)))
+
+    # Re-run behind fuse-dac and diff the traces: the defense's effect
+    # is visible as the records it adds (the block) and removes (the
+    # hijack).
+    defended_outcome, defended_records, _ = run_hijack(
+        defenses=("fuse-dac",))
+    print("\n=== defense-off vs defense-on trace diff ===\n")
+    print(render_diff(diff_traces(records, defended_records),
+                      max_detail=6))
+    print(f"\ndefended hijacked: {defended_outcome.hijacked}")
 
 
 if __name__ == "__main__":

@@ -10,13 +10,19 @@ Commands
   paper's developer suggestions.
 - ``fleet``    — run a sharded campaign across a worker pool
   (``--installs 10000 --workers 4``).
+- ``trace``    — forensics over a recorded JSONL trace:
+  ``trace summary``, ``trace critpath``, ``trace windows``,
+  ``trace diff`` (``python -m repro trace windows --trace t.jsonl``).
 
-Every command accepts ``--seed`` for reproducible runs.
+Every simulation command accepts ``--seed`` for reproducible runs; the
+``trace`` family is a pure function of its input files, so its output
+is byte-identical for identical traces.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -227,6 +233,36 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        critical_path,
+        diff_traces,
+        iter_trace_jsonl,
+        load_trace_jsonl,
+        profile_trace,
+        render_critical_path,
+        render_diff,
+        render_profile,
+        render_windows,
+        window_forensics,
+    )
+
+    if args.trace_command == "summary":
+        # Streams: per-name aggregates only, never the whole trace.
+        print(render_profile(profile_trace(iter_trace_jsonl(args.trace))))
+    elif args.trace_command == "critpath":
+        path = critical_path(load_trace_jsonl(args.trace), shard=args.shard)
+        print(render_critical_path(path))
+    elif args.trace_command == "windows":
+        print(render_windows(window_forensics(iter_trace_jsonl(args.trace))))
+    elif args.trace_command == "diff":
+        diff = diff_traces(load_trace_jsonl(args.trace),
+                           load_trace_jsonl(args.against))
+        print(render_diff(diff, max_detail=args.max_detail))
+        return 0 if diff.empty else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -289,6 +325,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "(crash:|hang:|error: + shard indices)")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
+
+    trace = sub.add_parser(
+        "trace", help="forensics over a recorded JSONL trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_common = argparse.ArgumentParser(add_help=False)
+    trace_common.add_argument("--trace", metavar="PATH", required=True,
+                              help="JSONL trace file to analyze")
+    trace_sub.add_parser(
+        "summary", parents=[trace_common],
+        help="per-name/per-layer latency profile with percentiles")
+    critpath = trace_sub.add_parser(
+        "critpath", parents=[trace_common],
+        help="critical path of the longest recorded span tree")
+    critpath.add_argument("--shard", type=int, default=None,
+                          help="restrict to one shard of a fleet trace")
+    trace_sub.add_parser(
+        "windows", parents=[trace_common],
+        help="armed->strike window widths split by hijack outcome")
+    diff = trace_sub.add_parser(
+        "diff", parents=[trace_common],
+        help="structural diff of two traces (exit 1 when they differ)")
+    diff.add_argument("--against", metavar="PATH", required=True,
+                      help="second JSONL trace to compare against")
+    diff.add_argument("--max-detail", type=int, default=20,
+                      help="changed/added records to list per section")
     return parser
 
 
@@ -308,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_audit(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -315,4 +378,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe reader (head, less, ...) closed early.
+        # Detach stdout so interpreter shutdown does not retry the
+        # flush and print a traceback; 141 mirrors SIGPIPE death.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -1,0 +1,124 @@
+"""Perf-baseline files and the wall-clock regression gate.
+
+``tools/bench.py`` times the reference fleet and persists the result
+as a ``BENCH_*.json`` baseline (canonical JSON: sorted keys, fixed
+indent).  A later run loads the baseline and passes through
+:func:`regression_gate`, which fails when the measured wall clock
+regressed by more than the threshold — the ROADMAP's "fast as the
+hardware allows" goal turned into a checkable floor.
+
+Wall-clock readings are inherently machine- and load-dependent, so the
+gate compares best-of-N runs (the least noisy point estimate), takes a
+configurable relative threshold, and is wired into CI as a
+*non-blocking* report job: a regression prints loudly and uploads its
+evidence instead of turning the build red from a noisy runner.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+#: Baseline schema version (bump on incompatible field changes).
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BenchBaseline:
+    """One committed benchmark measurement of the reference fleet."""
+
+    name: str
+    installs: int
+    shards: int
+    backend: str
+    repeats: int
+    wall_seconds: float  # best (minimum) of the repeats
+    throughput: float  # installs per wall-clock second at the best run
+    runs: List[float] = field(default_factory=list)  # every repeat
+    meta: Dict[str, object] = field(default_factory=dict)
+    version: int = BASELINE_VERSION
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, indent 2, trailing newline)."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+
+def save_baseline(path: str, baseline: BenchBaseline) -> None:
+    """Write ``baseline`` to ``path`` as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(baseline.to_json())
+
+
+def load_baseline(path: str) -> BenchBaseline:
+    """Load and validate a ``BENCH_*.json`` baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: invalid baseline JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: baseline must be a JSON object")
+    required = ("name", "installs", "shards", "backend", "repeats",
+                "wall_seconds", "throughput")
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise ReproError(f"{path}: baseline missing field(s) {missing}")
+    if payload.get("wall_seconds", 0) <= 0:
+        raise ReproError(f"{path}: baseline wall_seconds must be > 0")
+    known = {f for f in BenchBaseline.__dataclass_fields__}
+    return BenchBaseline(**{key: value for key, value in payload.items()
+                            if key in known})
+
+
+@dataclass
+class GateResult:
+    """Outcome of comparing a measurement against a baseline."""
+
+    ok: bool
+    baseline_wall: float
+    current_wall: float
+    threshold: float  # relative slowdown that fails, e.g. 0.10
+    ratio: float  # current / baseline
+
+    @property
+    def slowdown(self) -> float:
+        """Relative change, positive = slower than baseline."""
+        return self.ratio - 1.0
+
+    def render(self, name: str = "fleet") -> str:
+        """One-paragraph report of the gate decision."""
+        verdict = "OK" if self.ok else "REGRESSION"
+        return (
+            f"bench gate [{name}]: {verdict}\n"
+            f"  baseline : {self.baseline_wall:.3f}s\n"
+            f"  current  : {self.current_wall:.3f}s\n"
+            f"  change   : {self.slowdown * 100.0:+.1f}% "
+            f"(fails above +{self.threshold * 100.0:.1f}%)"
+        )
+
+
+def regression_gate(baseline: BenchBaseline, current_wall: float,
+                    threshold: float = 0.10) -> GateResult:
+    """Fail when ``current_wall`` regressed past the threshold.
+
+    ``threshold`` is the tolerated relative slowdown: 0.10 passes
+    anything up to 10% slower than the baseline (speedups always
+    pass).  Raises :class:`ReproError` on nonsensical inputs.
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    if current_wall <= 0:
+        raise ReproError(f"current wall clock must be > 0, got {current_wall}")
+    ratio = current_wall / baseline.wall_seconds
+    return GateResult(
+        ok=ratio <= 1.0 + threshold,
+        baseline_wall=baseline.wall_seconds,
+        current_wall=current_wall,
+        threshold=threshold,
+        ratio=ratio,
+    )

@@ -9,17 +9,50 @@ same seed produce bit-identical snapshots, and per-shard snapshots
 merged in shard order are bit-identical for any worker count.
 
 Merge semantics: counters add, gauges keep the maximum (they track
-high-water marks), histogram summaries combine count/sum/min/max.
+high-water marks), histogram summaries combine count/sum/min/max and
+add bucket counts.
+
+Histograms are **log-bucketed**: every observation lands in the
+power-of-two bucket given by :func:`bucket_index`, so a summary stays
+a handful of integers regardless of observation count, folds
+associatively under :func:`merge_snapshots` (bucket counts just add),
+and still supports deterministic percentile estimates
+(:func:`summary_percentile`) — p50/p90/p99 from traces and fleet
+snapshots alike.  The classic ``count``/``sum``/``min``/``max`` keys
+are preserved, so pre-bucket snapshots remain loadable and mergeable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
 
 #: Snapshot section names, in render order.
 KINDS = ("counters", "gauges", "histograms")
 
 Snapshot = Dict[str, Dict[str, object]]
+
+
+def bucket_index(value: int) -> int:
+    """The log2 bucket an observation falls into.
+
+    Bucket 0 holds every value <= 0 (durations are non-negative, so in
+    practice: exact zeros); bucket ``i`` >= 1 holds values in
+    ``[2**(i-1), 2**i - 1]``.  Pure integer arithmetic, so the mapping
+    is bit-identical everywhere.
+    """
+    if value <= 0:
+        return 0
+    return int(value).bit_length()
+
+
+def bucket_bounds(index: int) -> "tuple":
+    """Inclusive ``(lower, upper)`` value bounds of bucket ``index``."""
+    if index <= 0:
+        return (0, 0)
+    return (1 << (index - 1), (1 << index) - 1)
 
 
 class Counter:
@@ -31,7 +64,11 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be >= 0)."""
+        """Add ``amount`` (must be >= 0; raises :class:`ReproError`)."""
+        if amount < 0:
+            raise ReproError(
+                f"Counter.inc of negative amount {amount}; counters are "
+                "monotonic — use a gauge or a second counter instead")
         self.value += amount
 
 
@@ -50,34 +87,86 @@ class Gauge:
 
 
 class Histogram:
-    """A summary histogram: count, sum, min and max of observations."""
+    """A log-bucketed histogram with count/sum/min/max sidecar summary."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: int) -> None:
-        """Fold one observation into the summary."""
+        """Fold one observation into the summary and its log bucket."""
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         """Average observation, 0.0 when empty."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[int]:
+        """Deterministic percentile estimate (None when empty)."""
+        return summary_percentile(self.summary(), q)
+
     def summary(self) -> Dict[str, object]:
-        """Picklable summary dict (``min``/``max`` are None when empty)."""
+        """Picklable summary dict (``min``/``max`` are None when empty).
+
+        ``buckets`` maps stringified bucket indices to counts (string
+        keys keep the dict JSON-clean); the classic keys are unchanged
+        so old snapshot consumers keep working.
+        """
         return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max,
+                "buckets": {str(index): self.buckets[index]
+                            for index in sorted(self.buckets)}}
+
+
+def summary_percentile(summary: Dict[str, object],
+                       q: float) -> Optional[int]:
+    """Estimate the ``q``-th percentile of a histogram summary.
+
+    Nearest-rank over the log buckets: the estimate is the upper bound
+    of the bucket holding the rank, clamped to the summary's exact
+    ``min``/``max``.  Integer-only arithmetic keeps the estimate
+    bit-identical across platforms.  Returns None for an empty summary
+    or one recorded before buckets existed.
+    """
+    count = int(summary.get("count") or 0)
+    buckets = summary.get("buckets")
+    if count <= 0 or not buckets:
+        return None
+    rank = max(1, math.ceil(count * q / 100.0))
+    seen = 0
+    estimate = None
+    for index in sorted(buckets, key=int):
+        seen += int(buckets[index])
+        if seen >= rank:
+            estimate = bucket_bounds(int(index))[1]
+            break
+    if estimate is None:  # rank beyond recorded buckets (q > 100)
+        estimate = bucket_bounds(int(max(buckets, key=int)))[1]
+    low, high = summary.get("min"), summary.get("max")
+    if low is not None:
+        estimate = max(estimate, int(low))
+    if high is not None:
+        estimate = min(estimate, int(high))
+    return estimate
+
+
+def summary_percentiles(summary: Dict[str, object],
+                        qs: Sequence[float]) -> Dict[float, Optional[int]]:
+    """Percentile estimates for each ``q`` in ``qs`` (see above)."""
+    return {q: summary_percentile(summary, q) for q in qs}
 
 
 class MetricsRegistry:
@@ -136,6 +225,9 @@ def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
 
     Folding per-shard snapshots in shard-index order makes the merged
     snapshot independent of worker count and completion order.
+    Histogram bucket counts add; a summary recorded before buckets
+    existed folds as if it carried none (the classic keys still merge),
+    which keeps the fold associative for any shard grouping.
     """
     counters: Dict[str, int] = {}
     gauges: Dict[str, int] = {}
@@ -148,12 +240,21 @@ def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
         for name, summary in snapshot.get("histograms", {}).items():
             merged = histograms.get(name)
             if merged is None:
-                histograms[name] = dict(summary)
+                merged = histograms[name] = dict(summary)
+                if "buckets" in merged:
+                    merged["buckets"] = dict(merged["buckets"])
                 continue
             merged["count"] += summary["count"]
             merged["sum"] += summary["sum"]
             merged["min"] = _fold_extreme(merged["min"], summary["min"], min)
             merged["max"] = _fold_extreme(merged["max"], summary["max"], max)
+            incoming = summary.get("buckets")
+            if incoming:
+                folded = dict(merged.get("buckets") or {})
+                for index, bucket_count in incoming.items():
+                    folded[index] = folded.get(index, 0) + bucket_count
+                merged["buckets"] = {index: folded[index]
+                                     for index in sorted(folded, key=int)}
     return {
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: gauges[name] for name in sorted(gauges)},

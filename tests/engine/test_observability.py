@@ -115,6 +115,29 @@ def test_trace_and_metrics_identical_across_reruns():
     assert first.metrics == second.metrics
 
 
+def test_merged_fleet_histograms_carry_buckets_for_any_grouping():
+    # The log-bucket counts thread through the shard merge: the fold
+    # of per-shard snapshots equals the whole-fleet fold bit for bit,
+    # regardless of how installs were sharded.
+    from repro.obs.export import render_metrics
+    from repro.obs.metrics import merge_snapshots, summary_percentile
+
+    two = run_fleet(OBSERVED, shards=2, backend="serial")
+    four = run_fleet(OBSERVED, shards=4, backend="serial")
+    for report in (two, four):
+        elapsed = report.metrics["histograms"]["ait/elapsed_ns"]
+        assert elapsed["count"] == 8
+        assert sum(elapsed["buckets"].values()) == 8
+        assert summary_percentile(elapsed, 50) is not None
+    # Same installs, different sharding: identical bucket totals.
+    assert (two.metrics["histograms"]["ait/elapsed_ns"]
+            == four.metrics["histograms"]["ait/elapsed_ns"])
+    # Refolding the per-shard snapshots reproduces the report's merge.
+    refolded = merge_snapshots([s.metrics for s in four.shards])
+    assert refolded == four.metrics
+    assert "p50=" in render_metrics(four.metrics)
+
+
 @needs_multiprocessing
 def test_trace_and_metrics_identical_across_layouts():
     serial = run_fleet(OBSERVED, shards=2, backend="serial")

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.obs.export import (
+    iter_trace_jsonl,
     load_trace_jsonl,
     render_metrics,
     render_trace_summary,
@@ -71,6 +72,37 @@ def test_load_skips_blank_lines(tmp_path):
     assert len(load_trace_jsonl(str(path))) == 1
 
 
+def test_iter_streams_lazily_and_matches_load(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    write_trace_jsonl(path, sample_records())
+    stream = iter_trace_jsonl(path)
+    assert iter(stream) is stream  # a generator, not a list
+    assert next(stream)["name"] == "attack/strike"
+    assert list(stream) == load_trace_jsonl(path)[1:]
+
+
+def test_iter_validates_lazily_up_to_the_bad_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"name":"ok","t_ns":1,"type":"event"}\n'
+                    '{"type":"mystery","name":"x"}\n')
+    stream = iter_trace_jsonl(str(path))
+    assert next(stream)["name"] == "ok"
+    with pytest.raises(ReproError, match="unknown record type"):
+        next(stream)
+
+
+def test_iter_rejects_non_dict_attrs(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"name":"e","t_ns":1,"type":"event","attrs":[1]}\n')
+    with pytest.raises(ReproError, match="attrs must be an object"):
+        load_trace_jsonl(str(path))
+
+
+def test_iter_rejects_missing_file():
+    with pytest.raises(ReproError, match="cannot read trace"):
+        next(iter_trace_jsonl("/nonexistent/trace.jsonl"))
+
+
 def test_render_trace_summary():
     text = render_trace_summary(sample_records())
     assert "trace: 3 record(s)" in text
@@ -94,3 +126,34 @@ def test_render_metrics_handles_none_and_empty():
     assert render_metrics(None) == "metrics: 0 metric(s)"
     assert render_metrics(empty_snapshot(),
                           title="fleet metrics") == "fleet metrics: 0 metric(s)"
+
+
+def test_render_metrics_appends_percentiles_for_bucketed_histograms():
+    registry = MetricsRegistry()
+    for value in (10, 20, 30, 40, 100):
+        registry.histogram("ait/elapsed_ns").observe(value)
+    text = render_metrics(registry.snapshot())
+    assert "p50=31" in text
+    assert "p95=100" in text and "p99=100" in text
+    # Legacy summaries without buckets render without percentiles.
+    legacy = {"counters": {}, "gauges": {},
+              "histograms": {"old": {"count": 1, "sum": 5, "min": 5,
+                                     "max": 5}}}
+    assert "p50" not in render_metrics(legacy)
+
+
+def test_renderers_widen_columns_for_long_names():
+    # Regression: names longer than 28 chars used to shear the value
+    # columns out of alignment.
+    long_name = "defense/very_long_subsystem_metric_name_indeed"
+    registry = MetricsRegistry()
+    registry.counter(long_name).inc()
+    registry.counter("short").inc()
+    lines = render_metrics(registry.snapshot()).splitlines()[1:]
+    assert len({line.rfind(" ") for line in lines}) == 1  # values aligned
+    recorder = TraceRecorder()
+    recorder.span(long_name, 0, 10)
+    recorder.span("short", 0, 10)
+    summary_lines = render_trace_summary(recorder.records()).splitlines()[1:]
+    positions = {line.index(" x") for line in summary_lines}
+    assert len(positions) == 1  # count column starts at one offset

@@ -1,10 +1,16 @@
 """Tests for the metrics registry and snapshot merge semantics."""
 
+import pytest
+
+from repro.errors import ReproError
 from repro.obs.metrics import (
     MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
     empty_snapshot,
     merge_snapshots,
     snapshot_names,
+    summary_percentile,
 )
 
 
@@ -13,6 +19,17 @@ def test_counter_accumulates():
     registry.counter("runs").inc()
     registry.counter("runs").inc(4)
     assert registry.snapshot()["counters"]["runs"] == 5
+
+
+def test_counter_rejects_negative_amounts():
+    # The docstring always said ">= 0"; now it is enforced.
+    registry = MetricsRegistry()
+    registry.counter("runs").inc(2)
+    with pytest.raises(ReproError, match="negative"):
+        registry.counter("runs").inc(-1)
+    assert registry.counter("runs").value == 2
+    registry.counter("runs").inc(0)  # zero stays legal (delta counters)
+    assert registry.counter("runs").value == 2
 
 
 def test_gauge_keeps_high_water_mark():
@@ -31,16 +48,56 @@ def test_histogram_summary():
     for value in (10, 30, 20):
         histogram.observe(value)
     assert histogram.mean == 20.0
+    # Classic keys preserved; log-bucket counts ride alongside them.
     assert registry.snapshot()["histograms"]["latency"] == {
-        "count": 3, "sum": 60, "min": 10, "max": 30}
+        "count": 3, "sum": 60, "min": 10, "max": 30,
+        "buckets": {"4": 1, "5": 2}}
 
 
 def test_empty_histogram_summary():
     registry = MetricsRegistry()
     registry.histogram("untouched")
     summary = registry.snapshot()["histograms"]["untouched"]
-    assert summary == {"count": 0, "sum": 0, "min": None, "max": None}
+    assert summary == {"count": 0, "sum": 0, "min": None, "max": None,
+                       "buckets": {}}
     assert registry.histogram("untouched").mean == 0.0
+
+
+def test_bucket_index_and_bounds():
+    assert bucket_index(0) == 0
+    assert bucket_index(-5) == 0
+    assert bucket_index(1) == 1
+    assert bucket_index(2) == 2
+    assert bucket_index(3) == 2
+    assert bucket_index(4) == 3
+    assert bucket_bounds(0) == (0, 0)
+    assert bucket_bounds(3) == (4, 7)
+    # Every positive value lies inside its own bucket's bounds.
+    for value in (1, 2, 3, 7, 8, 1023, 1024, 10**12):
+        low, high = bucket_bounds(bucket_index(value))
+        assert low <= value <= high
+
+
+def test_histogram_percentiles_are_clamped_estimates():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat")
+    for value in (10, 20, 30, 40, 100):
+        histogram.observe(value)
+    # p50 rank 3 -> value 30 lives in bucket 5 ([16, 31]); the upper
+    # bound 31 is the deterministic estimate.
+    assert histogram.percentile(50) == 31
+    # p99 rank 5 -> bucket 7 upper bound 127, clamped to max=100.
+    assert histogram.percentile(99) == 100
+    # p0-ish clamps to min.
+    assert histogram.percentile(0) >= 10
+    assert registry.histogram("empty").percentile(50) is None
+
+
+def test_summary_percentile_ignores_bucketless_summaries():
+    # Snapshots recorded before buckets existed still load and merge;
+    # percentile estimation degrades to None instead of guessing.
+    legacy = {"count": 3, "sum": 60, "min": 10, "max": 30}
+    assert summary_percentile(legacy, 50) is None
 
 
 def test_metrics_created_on_first_use_and_reused():
@@ -73,7 +130,8 @@ def test_merge_adds_counters_maxes_gauges_folds_histograms():
     assert merged["counters"]["runs"] == 5
     assert merged["gauges"]["depth"] == 9
     assert merged["histograms"]["lat"] == {
-        "count": 2, "sum": 50, "min": 10, "max": 40}
+        "count": 2, "sum": 50, "min": 10, "max": 40,
+        "buckets": {"4": 1, "6": 1}}
 
 
 def test_merge_identity_and_associativity():
@@ -101,7 +159,57 @@ def test_merge_handles_empty_histogram_extremes():
     full.histogram("h").observe(7)
     merged = merge_snapshots([empty.snapshot(), full.snapshot()])
     assert merged["histograms"]["h"] == {
-        "count": 1, "sum": 7, "min": 7, "max": 7}
+        "count": 1, "sum": 7, "min": 7, "max": 7, "buckets": {"3": 1}}
+
+
+def test_merge_pins_none_extremes_from_empty_shard_fold():
+    # An empty shard's summary has min/max None in *both* argument
+    # positions; the fold must keep the other side's extremes, and two
+    # empties stay None (never 0, which would poison a later min()).
+    empty = {"counters": {}, "gauges": {},
+             "histograms": {"h": {"count": 0, "sum": 0, "min": None,
+                                  "max": None, "buckets": {}}}}
+    full = {"counters": {}, "gauges": {},
+            "histograms": {"h": {"count": 2, "sum": 30, "min": 10,
+                                 "max": 20, "buckets": {"4": 1, "5": 1}}}}
+    for ordering in ([empty, full], [full, empty]):
+        merged = merge_snapshots(ordering)
+        assert merged["histograms"]["h"] == {
+            "count": 2, "sum": 30, "min": 10, "max": 20,
+            "buckets": {"4": 1, "5": 1}}
+    both_empty = merge_snapshots([empty, empty])
+    assert both_empty["histograms"]["h"]["min"] is None
+    assert both_empty["histograms"]["h"]["max"] is None
+
+
+def test_merge_folds_legacy_bucketless_summaries():
+    legacy = {"counters": {}, "gauges": {},
+              "histograms": {"h": {"count": 1, "sum": 5, "min": 5,
+                                   "max": 5}}}
+    modern = {"counters": {}, "gauges": {},
+              "histograms": {"h": {"count": 1, "sum": 9, "min": 9,
+                                   "max": 9, "buckets": {"4": 1}}}}
+    merged = merge_snapshots([legacy, modern])
+    assert merged["histograms"]["h"]["count"] == 2
+    assert merged["histograms"]["h"]["buckets"] == {"4": 1}
+    # Both legacy: no buckets key appears (old shape round-trips).
+    assert "buckets" not in merge_snapshots(
+        [legacy, legacy])["histograms"]["h"]
+
+
+def test_merged_buckets_identical_for_any_shard_grouping():
+    shards = []
+    for seed in range(6):
+        registry = MetricsRegistry()
+        for value in range(seed, 40 + seed * 7, 3):
+            registry.histogram("lat").observe(value)
+        shards.append(registry.snapshot())
+    whole = merge_snapshots(shards)
+    pairs = merge_snapshots(
+        [merge_snapshots(shards[:2]), merge_snapshots(shards[2:4]),
+         merge_snapshots(shards[4:])])
+    lopsided = merge_snapshots([shards[0], merge_snapshots(shards[1:])])
+    assert whole == pairs == lopsided
 
 
 def test_merge_of_nothing_is_empty_snapshot():

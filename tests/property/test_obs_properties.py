@@ -1,0 +1,97 @@
+"""Property-based tests for the observability analysis layer.
+
+Two invariants the analyzer leans on:
+
+- ``diff_traces(t, t)`` is empty for *every* trace, and a diff against
+  a perturbed trace never is,
+- bucketed histogram snapshots fold associatively under
+  ``merge_snapshots`` — bit-identical for any shard grouping.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.analyze import diff_traces, render_diff, window_forensics
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+names = st.sampled_from(
+    ["ait/download", "ait/install", "attack/window", "attack/strike",
+     "install/outcome", "kernel/process", "defense/alarm"])
+times = st.integers(min_value=0, max_value=10**10)
+shards = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def trace_records(draw):
+    records = []
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        name = draw(names)
+        shard = draw(shards)
+        if draw(st.booleans()):
+            start = draw(times)
+            records.append({"type": "span", "name": name, "shard": shard,
+                            "start_ns": start,
+                            "end_ns": start + draw(times)})
+        else:
+            records.append({"type": "event", "name": name, "shard": shard,
+                            "t_ns": draw(times),
+                            "attrs": {"hijacked": draw(st.booleans())}})
+    return records
+
+
+@given(records=trace_records())
+@settings(max_examples=60, deadline=None)
+def test_diff_of_a_trace_with_itself_is_empty(records):
+    diff = diff_traces(records, records)
+    assert diff.empty
+    assert render_diff(diff) == "trace diff: identical"
+
+
+@given(records=trace_records(), bump=st.integers(min_value=1, max_value=999))
+@settings(max_examples=60, deadline=None)
+def test_diff_detects_any_single_time_perturbation(records, bump):
+    if not records:
+        return
+    perturbed = [dict(record) for record in records]
+    record = perturbed[len(perturbed) // 2]
+    if record["type"] == "span":
+        record["end_ns"] += bump
+    else:
+        record["t_ns"] += bump
+    diff = diff_traces(records, perturbed)
+    assert not diff.empty
+    assert len(diff.changed) >= 1
+
+
+@given(records=trace_records())
+@settings(max_examples=40, deadline=None)
+def test_window_forensics_never_crashes_and_conserves_windows(records):
+    report = window_forensics(records)
+    windows = sum(1 for r in records
+                  if r["type"] == "span" and r["name"] == "attack/window")
+    assert (report.hijacked.count + report.clean.count
+            + report.unresolved) == windows
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=10**12),
+                       min_size=0, max_size=80),
+       cut_a=st.integers(min_value=0, max_value=80),
+       cut_b=st.integers(min_value=0, max_value=80))
+@settings(max_examples=80, deadline=None)
+def test_bucketed_merge_is_associative_for_any_grouping(values, cut_a, cut_b):
+    lo, hi = sorted((min(cut_a, len(values)), min(cut_b, len(values))))
+    parts = [values[:lo], values[lo:hi], values[hi:]]
+    snapshots = []
+    for part in parts:
+        registry = MetricsRegistry()
+        for value in part:
+            registry.histogram("h").observe(value)
+        snapshots.append(registry.snapshot())
+    flat = merge_snapshots(snapshots)
+    left = merge_snapshots([merge_snapshots(snapshots[:2]), snapshots[2]])
+    right = merge_snapshots([snapshots[0], merge_snapshots(snapshots[1:])])
+    assert flat == left == right
+    whole = MetricsRegistry()
+    for value in values:
+        whole.histogram("h").observe(value)
+    if values:
+        assert flat["histograms"]["h"] == whole.snapshot()["histograms"]["h"]

@@ -1,0 +1,96 @@
+"""CLI tests for the ``repro trace`` forensics family.
+
+The acceptance contract: ``repro trace windows --trace <fleet trace>``
+reproduces the armed->strike window split by hijack outcome, and its
+output is byte-identical across two runs of the same seed and shard
+count.
+"""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_fleet_trace(path, defenses=(), seed=19):
+    argv = ["fleet", "--installs", "8", "--shards", "2",
+            "--backend", "serial", "--seed", str(seed),
+            "--attack", "fileobserver", "--quiet", "--trace", path]
+    for defense in defenses:
+        argv += ["--defense", defense]
+    assert main(argv) == 0
+
+
+def test_trace_parser_accepts_the_family():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "windows", "--trace", "t.jsonl"])
+    assert args.trace_command == "windows"
+    args = parser.parse_args(["trace", "diff", "--trace", "a.jsonl",
+                              "--against", "b.jsonl"])
+    assert args.against == "b.jsonl"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace"])  # subcommand required
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace", "summary"])  # --trace required
+
+
+def test_trace_windows_is_byte_identical_across_runs(tmp_path, capsys):
+    first = str(tmp_path / "first.jsonl")
+    second = str(tmp_path / "second.jsonl")
+    run_fleet_trace(first)
+    run_fleet_trace(second)
+    capsys.readouterr()  # drop the fleet renders (wall clock varies)
+    assert main(["trace", "windows", "--trace", first]) == 0
+    out_first = capsys.readouterr().out
+    assert main(["trace", "windows", "--trace", second]) == 0
+    out_second = capsys.readouterr().out
+    assert out_first == out_second
+    # The undefended fileobserver attack hijacks every run: the split
+    # puts all 8 windows in the hijacked row.
+    assert "hijacked          8" in out_first
+    assert "race-window forensics: 8 arm(s)" in out_first
+
+
+def test_trace_windows_splits_defended_runs_as_clean(tmp_path, capsys):
+    path = str(tmp_path / "defended.jsonl")
+    run_fleet_trace(path, defenses=("fuse-dac",))
+    capsys.readouterr()
+    assert main(["trace", "windows", "--trace", path]) == 0
+    out = capsys.readouterr().out
+    assert "clean             8" in out
+    assert "hijacked          0" in out
+
+
+def test_trace_summary_and_critpath_run_on_fleet_traces(tmp_path, capsys):
+    path = str(tmp_path / "t.jsonl")
+    run_fleet_trace(path)
+    capsys.readouterr()
+    assert main(["trace", "summary", "--trace", path]) == 0
+    summary = capsys.readouterr().out
+    assert "span  ait/download" in summary
+    assert "by layer" in summary
+    assert main(["trace", "critpath", "--trace", path]) == 0
+    critpath = capsys.readouterr().out
+    assert "critical path" in critpath
+    assert main(["trace", "critpath", "--trace", path, "--shard", "1"]) == 0
+    assert "shard 1" in capsys.readouterr().out
+
+
+def test_trace_diff_exit_codes(tmp_path, capsys):
+    same_a = str(tmp_path / "a.jsonl")
+    same_b = str(tmp_path / "b.jsonl")
+    other = str(tmp_path / "c.jsonl")
+    run_fleet_trace(same_a)
+    run_fleet_trace(same_b)
+    run_fleet_trace(other, seed=23)
+    capsys.readouterr()
+    assert main(["trace", "diff", "--trace", same_a,
+                 "--against", same_b]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["trace", "diff", "--trace", same_a,
+                 "--against", other]) == 1
+    assert "changed" in capsys.readouterr().out
+
+
+def test_trace_commands_reject_missing_files(capsys):
+    assert main(["trace", "summary", "--trace", "/nonexistent.jsonl"]) == 2
+    assert "error:" in capsys.readouterr().err

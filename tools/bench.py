@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark harness for the fleet-engine hot path.
+
+Times the reference fleet (a serial, attack-free campaign — the
+engine's per-install overhead with no pool scheduling noise), then
+either records the measurement as a ``BENCH_*.json`` baseline or
+gates it against a committed one:
+
+    python tools/bench.py --write BENCH_fleet.json
+    python tools/bench.py --compare BENCH_fleet.json          # exit 1 on
+                                                              # >10% slowdown
+
+``--compare`` exits 0 when the best-of-N wall clock is within the
+threshold of the baseline, 1 on a regression, 2 on usage errors.
+``--inject-slowdown 0.2`` scales the measurement by +20% before the
+gate — the synthetic-regression knob the tests use to prove the gate
+actually fires.  ``--trace``/``--report`` export the evidence CI
+uploads as build artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import CampaignSpec, NullProgress, run_fleet  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.obs import write_trace_jsonl  # noqa: E402
+from repro.obs.baseline import (  # noqa: E402
+    BenchBaseline,
+    load_baseline,
+    regression_gate,
+    save_baseline,
+)
+
+#: The reference fleet: large enough that best-of-N wall clock is
+#: stable (seconds, not milliseconds), small enough for a CI job.
+DEFAULT_INSTALLS = 2000
+DEFAULT_SHARDS = 4
+DEFAULT_SEED = 7
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="benchmark the fleet engine against a wall-clock baseline")
+    parser.add_argument("--installs", type=int, default=DEFAULT_INSTALLS)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--backend", default="serial",
+                        choices=["serial", "process", "auto"],
+                        help="serial by default: per-install cost without "
+                             "pool scheduling noise")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions; the gate uses the best")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="tolerated relative slowdown (0.10 = 10%%)")
+    parser.add_argument("--inject-slowdown", type=float, default=0.0,
+                        metavar="FRAC",
+                        help="synthetic slowdown added to the measurement "
+                             "(testing the gate itself)")
+    parser.add_argument("--write", metavar="PATH",
+                        help="record the measurement as a baseline file")
+    parser.add_argument("--compare", metavar="PATH",
+                        help="gate the measurement against a baseline file")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="also export a JSONL trace of one observed run")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the text report to PATH as well")
+    return parser
+
+
+def time_fleet(spec: CampaignSpec, shards: int, backend: str,
+               repeat: int) -> list:
+    """Best-of-N timing of the reference fleet (seconds per repeat)."""
+    runs = []
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        report = run_fleet(spec, shards=shards, backend=backend,
+                           progress=NullProgress())
+        runs.append(time.perf_counter() - started)
+        if report.stats.runs != spec.installs:
+            raise ReproError(
+                f"benchmark fleet ran {report.stats.runs} installs, "
+                f"expected {spec.installs}")
+    return runs
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if bool(args.write) == bool(args.compare):
+        print("error: exactly one of --write/--compare is required",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = CampaignSpec(installs=args.installs, seed=args.seed)
+        runs = time_fleet(spec, args.shards, args.backend, args.repeat)
+        best = min(runs)
+        measured = best * (1.0 + args.inject_slowdown)
+        lines = [
+            f"bench fleet: {args.installs} installs, {args.shards} shard(s), "
+            f"backend={args.backend}, seed={args.seed}",
+            "  runs     : " + ", ".join(f"{run:.3f}s" for run in runs),
+            f"  best     : {best:.3f}s "
+            f"({args.installs / best:.0f} installs/s)",
+        ]
+        if args.inject_slowdown:
+            lines.append(
+                f"  injected : +{args.inject_slowdown * 100.0:.1f}% "
+                f"synthetic slowdown -> {measured:.3f}s")
+        exit_code = 0
+        if args.write:
+            baseline = BenchBaseline(
+                name="fleet",
+                installs=args.installs,
+                shards=args.shards,
+                backend=args.backend,
+                repeats=args.repeat,
+                wall_seconds=measured,
+                throughput=args.installs / measured,
+                runs=[round(run, 6) for run in runs],
+                meta={"seed": args.seed},
+            )
+            save_baseline(args.write, baseline)
+            lines.append(f"  baseline : wrote {args.write}")
+        else:
+            baseline = load_baseline(args.compare)
+            if (baseline.installs, baseline.shards) != (args.installs,
+                                                        args.shards):
+                raise ReproError(
+                    f"baseline {args.compare} measured "
+                    f"{baseline.installs} installs / {baseline.shards} "
+                    f"shard(s); rerun with matching --installs/--shards")
+            gate = regression_gate(baseline, measured,
+                                   threshold=args.threshold)
+            lines.append(gate.render(name=baseline.name))
+            exit_code = 0 if gate.ok else 1
+        if args.trace:
+            observed = CampaignSpec(installs=min(args.installs, 200),
+                                    seed=args.seed, observe=True)
+            report = run_fleet(observed, shards=args.shards,
+                               backend="serial", progress=NullProgress())
+            count = write_trace_jsonl(args.trace, report.trace_records())
+            lines.append(f"  trace    : {count} record(s) -> {args.trace}")
+        text = "\n".join(lines)
+        print(text)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return exit_code
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
