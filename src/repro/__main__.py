@@ -208,6 +208,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=_seed_of(args),
         chaos=args.chaos,
         observe=observe,
+        keep_outcomes=args.keep_outcomes,
     )
     progress = NullProgress() if args.quiet else ConsoleProgress()
     engine_metrics = None
@@ -323,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--chaos", default=None, metavar="MODE:I,J",
                        help="failure injection for pool workers "
                             "(crash:|hang:|error: + shard indices)")
+    fleet.add_argument("--keep-outcomes", type=int, default=None,
+                       metavar="N",
+                       help="retain at most N per-run outcome records "
+                            "per shard (default: all; counters always "
+                            "cover every run)")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
 

@@ -26,6 +26,21 @@ from repro.android.signing import Certificate, Signature, SigningKey
 APK_MAGIC = b"APK1"
 EOCD_MAGIC = b"PK\x05\x06"
 
+# Content-addressed artifact caches, shared per-process.  Builds and
+# signatures are pure functions of their inputs (keys are deterministic
+# from (owner, key_id)), and ``Apk``/``AndroidManifest`` are frozen, so
+# identical build requests may share one instance.  Fleet campaigns
+# build the same handful of packages thousands of times per shard.
+_CACHE_CAP = 4096
+_BUILD_CACHE: dict = {}
+_PARSE_CACHE: dict = {}
+
+
+def clear_artifact_caches() -> None:
+    """Drop the process-wide build/parse caches (test isolation hook)."""
+    _BUILD_CACHE.clear()
+    _PARSE_CACHE.clear()
+
 
 @dataclass(frozen=True)
 class PermissionSpec:
@@ -57,7 +72,15 @@ class AndroidManifest:
     defines_permissions: Tuple[PermissionSpec, ...] = ()
 
     def to_bytes(self) -> bytes:
-        """Canonical byte serialization (what manifest checksums cover)."""
+        """Canonical byte serialization (what manifest checksums cover).
+
+        Memoized per instance: the manifest is frozen, and hot paths
+        (signing, container serialization, checksum verification)
+        re-serialize the same manifest many times per install.
+        """
+        cached = self.__dict__.get("_bytes")
+        if cached is not None:
+            return cached
         payload = {
             "package": self.package,
             "version_code": self.version_code,
@@ -69,7 +92,9 @@ class AndroidManifest:
                 for spec in self.defines_permissions
             ],
         }
-        return json.dumps(payload, sort_keys=True).encode("utf-8")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        object.__setattr__(self, "_bytes", data)
+        return data
 
     @staticmethod
     def from_bytes(data: bytes) -> "AndroidManifest":
@@ -88,12 +113,16 @@ class AndroidManifest:
         )
 
     def checksum(self) -> str:
-        """SHA-256 of the canonical manifest bytes.
+        """SHA-256 of the canonical manifest bytes (memoized).
 
         This is the *insufficient* integrity anchor used by
         ``installPackageWithVerification`` and the PIA.
         """
-        return hashlib.sha256(self.to_bytes()).hexdigest()
+        cached = self.__dict__.get("_checksum")
+        if cached is None:
+            cached = hashlib.sha256(self.to_bytes()).hexdigest()
+            object.__setattr__(self, "_checksum", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -128,7 +157,14 @@ class Apk:
         return self.signature.matches(self.signed_content())
 
     def to_bytes(self) -> bytes:
-        """Serialize to the on-disk container format (ends with EOCD)."""
+        """Serialize to the on-disk container format (ends with EOCD).
+
+        Memoized per instance — every publish/download/verify round-trip
+        re-serializes the same immutable package.
+        """
+        cached = self.__dict__.get("_bytes")
+        if cached is not None:
+            return cached
         manifest_bytes = self.manifest.to_bytes()
         cert_bytes = json.dumps(
             {"fingerprint": self.certificate.fingerprint, "owner": self.certificate.owner}
@@ -139,11 +175,30 @@ class Apk:
             chunks.append(len(blob).to_bytes(8, "big"))
             chunks.append(blob)
         chunks.append(EOCD_MAGIC)
-        return b"".join(chunks)
+        data = b"".join(chunks)
+        object.__setattr__(self, "_bytes", data)
+        return data
 
     @staticmethod
     def from_bytes(data: bytes) -> "Apk":
-        """Parse a container; raises :class:`MalformedApk` when truncated."""
+        """Parse a container; raises :class:`MalformedApk` when truncated.
+
+        Parses are cached by content: installers re-parse the same
+        downloaded bytes on every verification pass, and ``Apk`` is
+        immutable so sharing the parsed instance is safe.
+        """
+        cached = _PARSE_CACHE.get(data)
+        if cached is not None:
+            return cached
+        apk = Apk._parse(data)
+        if len(_PARSE_CACHE) >= _CACHE_CAP:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[data] = apk
+        object.__setattr__(apk, "_bytes", data)
+        return apk
+
+    @staticmethod
+    def _parse(data: bytes) -> "Apk":
         if not data.startswith(APK_MAGIC):
             raise MalformedApk("bad magic")
         if not data.endswith(EOCD_MAGIC):
@@ -171,8 +226,13 @@ class Apk:
         return Apk(manifest=manifest, payload=blobs[1], signature=signature)
 
     def file_hash(self) -> str:
-        """SHA-256 over the whole container (what installers verify)."""
-        return hashlib.sha256(self.to_bytes()).hexdigest()
+        """SHA-256 over the whole container (what installers verify);
+        memoized alongside the serialized bytes."""
+        cached = self.__dict__.get("_file_hash")
+        if cached is None:
+            cached = hashlib.sha256(self.to_bytes()).hexdigest()
+            object.__setattr__(self, "_file_hash", cached)
+        return cached
 
     @property
     def size_bytes(self) -> int:
@@ -251,7 +311,21 @@ class ApkBuilder:
         return self
 
     def build(self, key: SigningKey) -> Apk:
-        """Sign and return the APK."""
+        """Sign and return the APK.
+
+        Builds are content-addressed: the cache key covers every
+        manifest field, the payload, and the signing key's certificate
+        fingerprint, so two identical build requests share one frozen
+        ``Apk`` instance (and its serialization/hash memos).
+        """
+        cache_key = (
+            self._package, self._version_code, self._label, self._icon,
+            tuple(self._uses), tuple(self._defines), self._payload,
+            key.certificate.fingerprint,
+        )
+        cached = _BUILD_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         manifest = AndroidManifest(
             package=self._package,
             version_code=self._version_code,
@@ -261,7 +335,11 @@ class ApkBuilder:
             defines_permissions=tuple(self._defines),
         )
         content = manifest.to_bytes() + self._payload
-        return Apk(manifest=manifest, payload=self._payload, signature=key.sign(content))
+        apk = Apk(manifest=manifest, payload=self._payload, signature=key.sign(content))
+        if len(_BUILD_CACHE) >= _CACHE_CAP:
+            _BUILD_CACHE.clear()
+        _BUILD_CACHE[cache_key] = apk
+        return apk
 
 
 def repackage(original: Apk, attacker_key: SigningKey,

@@ -19,6 +19,7 @@ import enum
 import itertools
 import posixpath
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
@@ -185,15 +186,23 @@ class Mount:
     policy: AccessPolicy = field(default_factory=AccessPolicy)
 
 
+@lru_cache(maxsize=16384)
 def normalize(path: str) -> str:
-    """Normalize a path to an absolute, '..'-free canonical form."""
+    """Normalize a path to an absolute, '..'-free canonical form.
+
+    Pure string → string, so the result is memoized: simulated devices
+    touch the same handful of paths thousands of times per campaign,
+    and ``posixpath.normpath`` dominated the VFS profile before the
+    cache (``tools/bench.py --profile``).
+    """
     if not path.startswith("/"):
         raise FilesystemError(path, "paths must be absolute")
     return posixpath.normpath(path)
 
 
+@lru_cache(maxsize=16384)
 def split(path: str) -> Tuple[str, str]:
-    """Split a normalized path into (parent-dir, basename)."""
+    """Split a normalized path into (parent-dir, basename). Memoized."""
     parent, name = posixpath.split(normalize(path))
     if not name:
         raise FilesystemError(path, "path has no final component")
@@ -267,11 +276,26 @@ class FileHandle:
 class Filesystem:
     """The device-wide VFS: one instance per simulated device."""
 
+    #: Cap on the per-device resolution/mount caches; cleared-on-full
+    #: rather than evicted, since a simulated device touches a small,
+    #: recurring set of paths.
+    _CACHE_CAP = 32768
+
     def __init__(self, hub: EventHub, clock) -> None:
         self._hub = hub
         self._clock = clock
         self.root = Inode(NodeKind.DIRECTORY, ROOT_UID, 0o755)
         self._mounts: List[Mount] = []
+        # (prefix, prefix + "/", mount) in longest-prefix-first order,
+        # so mount_for avoids re-allocating the slashed prefix per call.
+        self._mount_index: List[Tuple[str, str, Mount]] = []
+        # (path, follow_last) -> (resolved, inode), valid until the
+        # next structural mutation (create/unlink/rename/symlink/
+        # makedirs/retarget).  Data writes leave the tree shape — and
+        # therefore the cache — untouched.
+        self._resolve_cache: Dict[Tuple[str, bool], Tuple[str, Inode]] = {}
+        # path -> mount (or None), valid until the mount table changes.
+        self._mount_cache: Dict[str, Optional[Mount]] = {}
 
     # -- time ---------------------------------------------------------------
 
@@ -289,15 +313,34 @@ class Filesystem:
         mount = Mount(prefix=prefix, volume=volume, policy=policy or AccessPolicy())
         self._mounts.append(mount)
         self._mounts.sort(key=lambda m: len(m.prefix), reverse=True)
+        self._mount_index = [(m.prefix, m.prefix + "/", m)
+                             for m in self._mounts]
+        self._mount_cache.clear()
         return mount
 
     def mount_for(self, path: str) -> Optional[Mount]:
-        """The most specific mount whose prefix contains ``path``, if any."""
-        path = normalize(path)
-        for mount in self._mounts:
-            if path == mount.prefix or path.startswith(mount.prefix + "/"):
-                return mount
-        return None
+        """The most specific mount whose prefix contains ``path``, if any.
+
+        Memoized per path: the mount table changes only at provisioning
+        time, while policy checks and space accounting look mounts up
+        on every file operation.  (``set_policy`` swaps the policy *on*
+        the cached mount object, so cached entries stay correct.)
+        """
+        cache = self._mount_cache
+        try:
+            return cache[path]
+        except KeyError:
+            pass
+        normalized = normalize(path)
+        found = None
+        for prefix, prefix_slash, mount in self._mount_index:
+            if normalized == prefix or normalized.startswith(prefix_slash):
+                found = mount
+                break
+        if len(cache) >= self._CACHE_CAP:
+            cache.clear()
+        cache[path] = found
+        return found
 
     def set_policy(self, prefix: str, policy: AccessPolicy) -> None:
         """Swap the access policy of the mount at ``prefix`` (defense install)."""
@@ -309,29 +352,55 @@ class Filesystem:
 
     # -- resolution ---------------------------------------------------------
 
-    def _resolve(self, path: str, follow_last: bool = True,
-                 _depth: int = 0) -> Tuple[str, Inode]:
-        """Resolve ``path`` to (physical-path, inode), following symlinks."""
+    def _resolve(self, path: str,
+                 follow_last: bool = True) -> Tuple[str, Inode]:
+        """Resolve ``path`` to (physical-path, inode), following symlinks.
+
+        Successful resolutions are cached until the next structural
+        mutation (:meth:`_invalidate_resolution`): installs re-resolve
+        the same handful of paths for every open/read/stat, and the
+        tree shape changes far less often than it is read.
+        """
+        key = (path, follow_last)
+        cache = self._resolve_cache
+        result = cache.get(key)
+        if result is None:
+            result = self._resolve_walk(path, follow_last, 0)
+            if len(cache) >= self._CACHE_CAP:
+                cache.clear()
+            cache[key] = result
+        return result
+
+    def _invalidate_resolution(self) -> None:
+        """Drop cached resolutions after a tree-shape mutation."""
+        if self._resolve_cache:
+            self._resolve_cache.clear()
+
+    def _resolve_walk(self, path: str, follow_last: bool,
+                      _depth: int) -> Tuple[str, Inode]:
         if _depth > _MAX_SYMLINK_DEPTH:
             raise SymlinkLoop(path)
         path = normalize(path)
         node = self.root
         resolved = "/"
         parts = [part for part in path.split("/") if part]
+        last = len(parts) - 1
         for index, part in enumerate(parts):
             if node.kind is not NodeKind.DIRECTORY:
                 raise NotADirectory(resolved)
             child = node.children.get(part)
             if child is None:
                 raise FileNotFound(posixpath.join(resolved, part))
-            resolved = posixpath.join(resolved, part)
-            is_last = index == len(parts) - 1
-            if child.kind is NodeKind.SYMLINK and (follow_last or not is_last):
+            # ``resolved`` is canonical and ``part`` is one component,
+            # so plain concatenation equals posixpath.join at a
+            # fraction of the cost (this loop is the VFS hot path).
+            resolved = "/" + part if resolved == "/" else resolved + "/" + part
+            if child.kind is NodeKind.SYMLINK and (follow_last or index != last):
                 remainder = parts[index + 1:]
                 target = child.symlink_target
                 if remainder:
                     target = posixpath.join(target, *remainder)
-                return self._resolve(target, follow_last, _depth + 1)
+                return self._resolve_walk(target, follow_last, _depth + 1)
             node = child
         return resolved, node
 
@@ -409,6 +478,7 @@ class Filesystem:
                 child = Inode(NodeKind.DIRECTORY, caller.uid, mode)
                 child.created_ns = self.now_ns
                 node.children[part] = child
+                self._invalidate_resolution()
             elif child.kind is NodeKind.SYMLINK:
                 built, child = self._resolve(built)
             elif child.kind is not NodeKind.DIRECTORY:
@@ -433,6 +503,7 @@ class Filesystem:
         inode.created_ns = self.now_ns
         inode.modified_ns = self.now_ns
         parent.children[name] = inode
+        self._invalidate_resolution()
         mount = self.mount_for(full)
         if mount is not None:
             mount.policy.on_create(self, caller, full, inode)
@@ -490,6 +561,7 @@ class Filesystem:
         inode.symlink_target = normalize(target)
         inode.created_ns = self.now_ns
         parent.children[name] = inode
+        self._invalidate_resolution()
         self._emit(full, FileEventType.CREATE)
 
     def retarget_symlink(self, link_path: str, new_target: str, caller: Caller) -> None:
@@ -504,6 +576,7 @@ class Filesystem:
             raise AccessDenied(link_path, "not the symlink owner")
         node.symlink_target = normalize(new_target)
         node.modified_ns = self.now_ns
+        self._invalidate_resolution()
 
     def unlink(self, path: str, caller: Caller) -> None:
         """Delete a file or symlink; emits DELETE."""
@@ -514,6 +587,7 @@ class Filesystem:
         parent_path, name = split(resolved)
         _parent_resolved, parent = self._resolve(parent_path)
         del parent.children[name]
+        self._invalidate_resolution()
         self._charge(resolved, -node.size)
         self._emit(resolved, FileEventType.DELETE)
 
@@ -555,6 +629,7 @@ class Filesystem:
             self._charge(dst, -replaced.size)
         dst_parent.children[dst_name] = node
         node.modified_ns = self.now_ns
+        self._invalidate_resolution()
         self._emit(src_resolved, FileEventType.MOVED_FROM)
         self._emit(dst, FileEventType.MOVED_TO)
 
@@ -599,6 +674,13 @@ class Filesystem:
             raise StorageFull(path)
 
     def _emit(self, path: str, event_type: FileEventType) -> None:
+        # Fast path: on a device with no filesystem watcher at all
+        # (no FileObserver, no DAPP — every benign fleet shard), skip
+        # the split and the event construction entirely.  Watchers
+        # registered *after* an emit would not have seen the event
+        # anyway, so the skip is invisible to every subscriber.
+        if not self._hub.namespace_active("fs"):
+            return
         directory, name = split(path)
         event = FileEvent(event_type, directory, name, self.now_ns)
         self._hub.publish(f"fs:{directory}", event)

@@ -28,6 +28,20 @@ def _digest(*parts: bytes) -> str:
     return hasher.hexdigest()
 
 
+# Signature cache shared per-process: signatures are a pure function of
+# (key fingerprint, content) and keys are deterministic from
+# (owner, key_id), so two SigningKey instances with the same identity
+# may share signature objects.  Fleet campaigns sign the same few
+# packages once per install without this.
+_SIGN_CACHE_CAP = 4096
+_SIGN_CACHE: dict = {}
+
+
+def clear_signature_cache() -> None:
+    """Drop the process-wide signature cache (test isolation hook)."""
+    _SIGN_CACHE.clear()
+
+
 @dataclass(frozen=True)
 class Certificate:
     """The public identity of a signing key."""
@@ -73,9 +87,17 @@ class SigningKey:
         return self._certificate
 
     def sign(self, content: bytes) -> Signature:
-        """Produce a signature over ``content``."""
+        """Produce a signature over ``content`` (content-addressed cache)."""
+        cache_key = (self._certificate.fingerprint, content)
+        cached = _SIGN_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         value = _digest(self._certificate.fingerprint.encode("ascii"), content)
-        return Signature(certificate=self._certificate, value=value)
+        signature = Signature(certificate=self._certificate, value=value)
+        if len(_SIGN_CACHE) >= _SIGN_CACHE_CAP:
+            _SIGN_CACHE.clear()
+        _SIGN_CACHE[cache_key] = signature
+        return signature
 
     def __repr__(self) -> str:
         return f"SigningKey(owner={self.owner!r}, key_id={self.key_id!r})"

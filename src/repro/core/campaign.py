@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.outcomes import DefenseReport, InstallOutcome
+from repro.core.outcomes import DefenseReport, InstallOutcome, OutcomeRecord
 from repro.core.scenario import Scenario
 
 
@@ -22,7 +22,15 @@ class CampaignStats:
 
     ``outcomes`` normally holds :class:`InstallOutcome` objects; stats
     returned by the fleet engine hold the slimmer, picklable
-    :class:`repro.engine.merge.OutcomeRecord` instead (same read API).
+    :class:`repro.core.outcomes.OutcomeRecord` instead (same read API).
+
+    ``compact``/``keep_outcomes`` set the retention policy *at record
+    time* — the fleet path uses them so a 50k-install shard never holds
+    50k transaction traces: ``compact=True`` projects each outcome to
+    an :class:`OutcomeRecord` as it is recorded, and ``keep_outcomes``
+    caps how many are retained (``None`` keeps all; ``0`` keeps none).
+    Aggregate counters always cover every run regardless of policy.
+    Policy fields are bookkeeping, excluded from equality.
     """
 
     runs: int = 0
@@ -35,6 +43,11 @@ class CampaignStats:
     alarmed_runs: int = 0
     blocked_runs: int = 0
     outcomes: List[InstallOutcome] = field(default_factory=list)
+    #: Project outcomes to trace-free ``OutcomeRecord`` when recording.
+    compact: bool = field(default=False, repr=False, compare=False)
+    #: Retain at most this many outcomes (None = unlimited).
+    keep_outcomes: Optional[int] = field(
+        default=None, repr=False, compare=False)
     # Per-defense high-water marks of the cumulative report counters,
     # used to turn cumulative reports into per-run deltas.  Bookkeeping
     # only: excluded from equality and repr.
@@ -55,7 +68,11 @@ class CampaignStats:
         total then counts in full.
         """
         self.runs += 1
-        self.outcomes.append(outcome)
+        if self.keep_outcomes is None or len(self.outcomes) < self.keep_outcomes:
+            if self.compact and not isinstance(outcome, OutcomeRecord):
+                self.outcomes.append(OutcomeRecord.from_outcome(outcome))
+            else:
+                self.outcomes.append(outcome)
         if outcome.installed:
             self.installs_completed += 1
         if outcome.hijacked:
@@ -132,6 +149,11 @@ class Campaign:
                  stats: Optional[CampaignStats] = None) -> None:
         self.scenario = scenario
         self.stats = stats if stats is not None else CampaignStats()
+        # Bound-instrument handles for the per-run counters, resolved on
+        # the first observed run (not at construction) so metric names
+        # appear in snapshots exactly when the legacy per-call lookups
+        # would have created them.
+        self._observe_bound: Optional[tuple] = None
 
     def install_many(self, packages: Sequence[str], arm_attacker: bool = True,
                      rearm_between: bool = True) -> CampaignStats:
@@ -164,9 +186,19 @@ class Campaign:
             )
         metrics = self.scenario.metrics
         if metrics is not None:
-            metrics.counter("campaign/runs").inc()
-            metrics.counter("campaign/alarms").inc(alarm_delta)
-            metrics.counter("campaign/blocked").inc(blocked_delta)
+            bound = self._observe_bound
+            if bound is None:
+                bound = self._observe_bound = (
+                    metrics.bind_counter("campaign/runs"),
+                    metrics.bind_counter("campaign/alarms"),
+                    metrics.bind_counter("campaign/blocked"),
+                )
+            inc_runs, inc_alarms, inc_blocked = bound
+            inc_runs()
+            inc_alarms(alarm_delta)
+            inc_blocked(blocked_delta)
+            # Conditional counters stay dynamic lookups: binding would
+            # create them in snapshots before the first nonzero delta.
             if alarm_delta:
                 metrics.counter("campaign/alarmed_runs").inc()
             if blocked_delta:

@@ -72,6 +72,10 @@ class Scenario:
     intent_origin: Optional["IntentOriginScheme"] = None
     listings: Dict[str, object] = field(default_factory=dict)
     extra_installers: List[BaseInstaller] = field(default_factory=list)
+    # Bound-instrument handles for _observe_outcome, resolved lazily
+    # (bookkeeping only — excluded from equality and repr).
+    _outcome_bound: Optional[tuple] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def obs(self) -> NullRecorder:
@@ -261,14 +265,25 @@ class Scenario:
                           signer=outcome.installed_certificate_owner or "")
         metrics = self.system.metrics
         if metrics is not None:
-            metrics.counter("ait/runs").inc()
+            # Bound handles for the unconditional instruments, resolved
+            # on the first outcome so snapshot keys appear exactly when
+            # legacy per-call lookups would have created them.  The
+            # conditional counters stay dynamic for the same reason.
+            bound = self._outcome_bound
+            if bound is None:
+                bound = self._outcome_bound = (
+                    metrics.bind_counter("ait/runs"),
+                    metrics.bind_histogram("ait/elapsed_ns"),
+                )
+            inc_runs, observe_elapsed = bound
+            inc_runs()
             if outcome.installed:
                 metrics.counter("ait/installed").inc()
             if outcome.hijacked:
                 metrics.counter("ait/hijacked").inc()
             if outcome.error is not None:
                 metrics.counter("ait/errors").inc()
-            metrics.histogram("ait/elapsed_ns").observe(outcome.elapsed_ns)
+            observe_elapsed(outcome.elapsed_ns)
 
     def _arm_attacker(self) -> None:
         arm = getattr(self.attacker, "arm", None)

@@ -18,6 +18,7 @@ from repro.engine.executor import (
     multiprocessing_usable,
     run_fleet,
     run_shard,
+    wait_for_result,
 )
 from repro.engine.merge import (
     FleetReport,
@@ -65,5 +66,6 @@ __all__ = [
     "parse_chaos",
     "run_fleet",
     "run_shard",
+    "wait_for_result",
     "wilson_interval",
 ]

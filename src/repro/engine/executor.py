@@ -22,8 +22,8 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.core.campaign import Campaign
-from repro.engine.merge import FleetReport, ShardResult, compact_stats
+from repro.core.campaign import Campaign, CampaignStats
+from repro.engine.merge import FleetReport, ShardResult
 from repro.engine.progress import FleetProgress, NullProgress
 from repro.engine.spec import CampaignSpec, ShardSpec, parse_chaos
 from repro.errors import ReproError
@@ -32,7 +32,11 @@ from repro.obs.trace import TraceRecorder
 
 _OK = "ok"
 _ERROR = "error"
-_POLL_SECONDS = 0.05
+#: Ceiling on one blocking wait in the pool loop.  The loop does not
+#: poll at this cadence — results and worker deaths interrupt the wait
+#: immediately (see :func:`wait_for_result`); the ceiling only bounds
+#: how stale the timeout bookkeeping in ``_reap`` can get.
+_IDLE_WAIT_SECONDS = 0.5
 
 BACKENDS = ("auto", "process", "serial")
 
@@ -58,7 +62,11 @@ def run_shard(shard: ShardSpec) -> ShardResult:
     metrics = MetricsRegistry() if spec.observe else None
     scenario = shard.build_scenario(recorder=recorder, metrics=metrics)
     packages = shard.publish_workload(scenario)
-    campaign = Campaign(scenario)
+    # Compact at record time: outcomes are projected to trace-free
+    # OutcomeRecord as they happen, so the shard never accumulates
+    # transaction traces only to strip them post-hoc.
+    campaign = Campaign(scenario, stats=CampaignStats(
+        compact=True, keep_outcomes=spec.keep_outcomes))
     campaign.install_many(
         packages,
         arm_attacker=spec.arm_attacker,
@@ -68,7 +76,7 @@ def run_shard(shard: ShardSpec) -> ShardResult:
         shard_index=shard.index,
         start=shard.start,
         stop=shard.stop,
-        stats=compact_stats(campaign.stats),
+        stats=campaign.stats,
         wall_seconds=time.perf_counter() - started,
         backend="serial",
         trace=recorder.records() if recorder is not None else None,
@@ -105,6 +113,36 @@ def _shard_entry(result_queue, shard: ShardSpec) -> None:
                 (shard.index, _ERROR, f"{type(exc).__name__}: {exc}"))
         except Exception:
             os._exit(14)
+
+
+def wait_for_result(result_queue, processes=(),
+                    timeout: float = _IDLE_WAIT_SECONDS) -> bool:
+    """Block until the result queue has data, a worker exits, or timeout.
+
+    The scheduler's replacement for fixed-interval polling: it sleeps
+    on the queue's underlying pipe and every worker's death sentinel at
+    once (:func:`multiprocessing.connection.wait`), so a finished shard
+    or a crashed worker wakes the parent immediately instead of after
+    the next poll tick.  Returns True when the queue signalled readable
+    (a ``get`` should now return promptly); False on a sentinel wake or
+    timeout.  Queues without an inspectable pipe conservatively return
+    True, degrading to the caller's timed ``get``.
+    """
+    reader = getattr(result_queue, "_reader", None)
+    if reader is None:  # unexpected queue implementation
+        return True
+    from multiprocessing.connection import wait as connection_wait
+
+    sentinels = [reader]
+    for process in processes:
+        sentinel = getattr(process, "sentinel", None)
+        if sentinel is not None:
+            sentinels.append(sentinel)
+    try:
+        ready = connection_wait(sentinels, timeout)
+    except OSError:  # a sentinel closed under us: treat as a wake
+        return True
+    return reader in ready
 
 
 def multiprocessing_usable() -> bool:
@@ -252,7 +290,11 @@ class FleetExecutor:
                     )
                     process.start()
                     running[shard.index] = (process, time.monotonic(), shard)
-                drain(_POLL_SECONDS)
+                if wait_for_result(
+                        result_queue,
+                        [entry[0] for entry in running.values()],
+                        self._wait_timeout(running)):
+                    drain(_IDLE_WAIT_SECONDS)
                 self._reap(running, pending, fallback, attempts, drain,
                            counters)
         finally:
@@ -271,6 +313,20 @@ class FleetExecutor:
             results[shard.index] = result
             self.progress.on_shard_done(result, len(results), total)
         return list(results.values())
+
+    def _wait_timeout(self, running) -> float:
+        """How long one blocking wait may last before ``_reap`` runs.
+
+        With a shard timeout configured, the wait ends no later than
+        the earliest running shard's deadline so overruns are policed
+        on time; either way it is capped at :data:`_IDLE_WAIT_SECONDS`.
+        """
+        if self.shard_timeout is None or not running:
+            return _IDLE_WAIT_SECONDS
+        now = time.monotonic()
+        soonest = min(started_at for _, started_at, _ in running.values())
+        remaining = soonest + self.shard_timeout - now
+        return max(0.0, min(_IDLE_WAIT_SECONDS, remaining))
 
     def _reap(self, running, pending, fallback, attempts, drain,
               counters) -> None:

@@ -16,41 +16,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.campaign import CampaignStats
-from repro.core.outcomes import InstallOutcome
+from repro.core.outcomes import OutcomeRecord
 from repro.engine.spec import CampaignSpec
 from repro.obs.metrics import Snapshot, merge_snapshots
 
-
-@dataclass(frozen=True)
-class OutcomeRecord:
-    """Picklable, trace-free projection of an :class:`InstallOutcome`."""
-
-    requested_package: str
-    installed: bool = False
-    installed_version: Optional[int] = None
-    installed_certificate_owner: Optional[str] = None
-    genuine_certificate_owner: Optional[str] = None
-    hijacked: bool = False
-    error: Optional[str] = None
-    elapsed_ns: int = 0
-
-    @classmethod
-    def from_outcome(cls, outcome: InstallOutcome) -> "OutcomeRecord":
-        return cls(
-            requested_package=outcome.requested_package,
-            installed=outcome.installed,
-            installed_version=outcome.installed_version,
-            installed_certificate_owner=outcome.installed_certificate_owner,
-            genuine_certificate_owner=outcome.genuine_certificate_owner,
-            hijacked=outcome.hijacked,
-            error=outcome.error,
-            elapsed_ns=outcome.elapsed_ns,
-        )
-
-    @property
-    def clean_install(self) -> bool:
-        """Installed and not hijacked."""
-        return self.installed and not self.hijacked
+__all__ = [
+    "FleetReport", "OutcomeRecord", "ShardResult", "compact_stats",
+    "merge_stats", "wilson_interval",
+]
 
 
 def compact_stats(stats: CampaignStats) -> CampaignStats:

@@ -110,10 +110,17 @@ class CampaignSpec:
     chaos: Optional[str] = None
     #: Record per-shard traces and metric snapshots (repro.obs).
     observe: bool = False
+    #: Retain at most this many per-run outcome records per shard
+    #: (None = all; 0 = none).  Aggregate counters always cover every
+    #: run — this only bounds shard memory and result-pickle size.
+    keep_outcomes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.installs < 0:
             raise ReproError(f"installs must be >= 0, got {self.installs}")
+        if self.keep_outcomes is not None and self.keep_outcomes < 0:
+            raise ReproError(
+                f"keep_outcomes must be >= 0 or None, got {self.keep_outcomes}")
         parse_chaos(self.chaos)  # raises on a malformed spec
         installer_by_name(self.installer)  # raises on unknown name
         if self.attack not in ATTACKS:

@@ -25,7 +25,7 @@ are preserved, so pre-bucket snapshots remain loadable and mergeable.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ReproError
 
@@ -99,15 +99,22 @@ class Histogram:
         self.buckets: Dict[int, int] = {}
 
     def observe(self, value: int) -> None:
-        """Fold one observation into the summary and its log bucket."""
+        """Fold one observation into the summary and its log bucket.
+
+        This is the hottest instrument call in the codebase (one per
+        kernel step), so the bucket index is computed inline with
+        ``int.bit_length`` — no function call, no allocation — and is
+        by construction identical to :func:`bucket_index`.
+        """
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        index = bucket_index(value)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
+        index = value.bit_length() if value > 0 else 0
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -202,6 +209,30 @@ class MetricsRegistry:
         if metric is None:
             metric = self._histograms[name] = Histogram()
         return metric
+
+    # -- bound instruments --------------------------------------------------
+    #
+    # Hot paths that observe the same metric thousands of times per run
+    # (the kernel's per-step latency, the scenario's per-AIT counters)
+    # should not pay a registry dict lookup plus a method bind on every
+    # observation.  ``bind_*`` resolves the instrument once and returns
+    # its update method; call sites cache the handle at construction
+    # time and invoke it directly.  Binding creates the instrument, so
+    # only bind metrics that are recorded unconditionally — a bound
+    # name appears in snapshots from the moment of binding, exactly as
+    # a ``counter(name)`` lookup would have created it.
+
+    def bind_counter(self, name: str) -> Callable[..., None]:
+        """Resolve once: the ``inc`` method of counter ``name``."""
+        return self.counter(name).inc
+
+    def bind_gauge(self, name: str) -> Callable[[int], None]:
+        """Resolve once: the ``set`` method of gauge ``name``."""
+        return self.gauge(name).set
+
+    def bind_histogram(self, name: str) -> Callable[[int], None]:
+        """Resolve once: the ``observe`` method of histogram ``name``."""
+        return self.histogram(name).observe
 
     def snapshot(self) -> Snapshot:
         """Deterministic, picklable state dump (sorted names)."""

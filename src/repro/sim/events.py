@@ -39,12 +39,36 @@ class EventHub:
     def __init__(self, kernel: Kernel) -> None:
         self._kernel = kernel
         self._subs: Dict[str, List[Subscription]] = {}
+        self._namespace_counts: Dict[str, int] = {}
+
+    @staticmethod
+    def _namespace(topic: str) -> str:
+        """The topic's namespace: everything before the first colon.
+
+        Topics follow a ``namespace:detail`` convention (``fs:/sdcard``,
+        ``broadcast:PACKAGE_ADDED``, ``dm:done:3``); the namespace count
+        lets publishers skip event construction entirely when nobody in
+        the namespace is listening.
+        """
+        return topic.partition(":")[0]
 
     def subscribe(self, topic: str, handler: Handler) -> Subscription:
         """Register ``handler`` for every future event published on ``topic``."""
         sub = Subscription(self, topic, handler)
         self._subs.setdefault(topic, []).append(sub)
+        namespace = self._namespace(topic)
+        self._namespace_counts[namespace] = \
+            self._namespace_counts.get(namespace, 0) + 1
         return sub
+
+    def namespace_active(self, namespace: str) -> bool:
+        """True if any active subscription's topic lives in ``namespace``.
+
+        O(1) — the hot-path guard the filesystem uses to skip building
+        inotify events on unwatched devices (benign fleet shards have
+        no FileObserver and no DAPP attached).
+        """
+        return self._namespace_counts.get(namespace, 0) > 0
 
     def publish(self, topic: str, payload: Any = None, delay_ns: int = 0) -> int:
         """Publish ``payload``, delivering via the kernel after ``delay_ns``.
@@ -53,7 +77,10 @@ class EventHub:
         Handlers added after ``publish`` do not see the event, matching
         inotify/broadcast semantics.
         """
-        targets = [sub for sub in self._subs.get(topic, []) if sub.active]
+        subs = self._subs.get(topic)
+        if not subs:
+            return 0
+        targets = [sub for sub in subs if sub.active]
         for sub in targets:
             self._kernel.call_later(delay_ns, _deliver(sub, payload))
         return len(targets)
@@ -66,6 +93,10 @@ class EventHub:
         subs = self._subs.get(sub.topic, [])
         if sub in subs:
             subs.remove(sub)
+            namespace = self._namespace(sub.topic)
+            count = self._namespace_counts.get(namespace, 0)
+            if count > 0:
+                self._namespace_counts[namespace] = count - 1
 
 
 def _deliver(sub: Subscription, payload: Any) -> Callable[[], None]:

@@ -92,14 +92,26 @@ class Process:
         self.spawned_ns = kernel.clock.now_ns
         self.steps = 0
         self._last_step_ns = self.spawned_ns
+        # Dispatch fast path: the resume callbacks are bound once here
+        # instead of allocating a fresh closure on every yield, and the
+        # metrics branch compiles down to one precomputed flag check.
+        self._observed = kernel.metrics is not None
+        self._resume = self._step            # 1-arg: event waiters
+        self._resume_none = self._step_none  # 0-arg: timers
+
+    def _step_none(self) -> None:
+        self._step(None)
 
     def _step(self, send_value: Any) -> None:
         """Advance the generator by one yield and act on what it asks for."""
-        metrics = self._kernel.metrics
-        if metrics is not None:
-            now_ns = self._kernel.clock.now_ns
-            metrics.histogram("kernel/step_latency_ns").observe(
-                now_ns - self._last_step_ns)
+        if self._observed:
+            kernel = self._kernel
+            observe = kernel._observe_step
+            if observe is None:
+                observe = kernel._observe_step = kernel.metrics.bind_histogram(
+                    "kernel/step_latency_ns")
+            now_ns = kernel.clock.now_ns
+            observe(now_ns - self._last_step_ns)
             self._last_step_ns = now_ns
         self.steps += 1
         try:
@@ -110,17 +122,14 @@ class Process:
         except BaseException as exc:  # propagate app bugs to the caller
             self._finish(error=exc)
             return
-        self._handle_yield(yielded)
-
-    def _handle_yield(self, yielded: Any) -> None:
         if isinstance(yielded, Sleep):
-            self._kernel.call_later(yielded.duration_ns, lambda: self._step(None))
+            self._kernel.call_later(yielded.duration_ns, self._resume_none)
         elif isinstance(yielded, WaitFor):
-            yielded.event.add_waiter(lambda value: self._step(value))
+            yielded.event.add_waiter(self._resume)
         elif isinstance(yielded, Process):
-            yielded.completion.add_waiter(lambda value: self._step(value))
+            yielded.completion.add_waiter(self._resume)
         elif yielded is None:
-            self._kernel.call_later(0, lambda: self._step(None))
+            self._kernel.call_later(0, self._resume_none)
         else:
             self._finish(
                 error=SimulationError(
@@ -140,7 +149,11 @@ class Process:
                 process=self.name, steps=self.steps,
                 error=type(error).__name__ if error is not None else "")
         if kernel.metrics is not None:
-            kernel.metrics.counter("kernel/processes_finished").inc()
+            inc_finished = kernel._inc_finished
+            if inc_finished is None:
+                inc_finished = kernel._inc_finished = kernel.metrics.bind_counter(
+                    "kernel/processes_finished")
+            inc_finished()
             if error is not None:
                 kernel.metrics.counter("kernel/processes_failed").inc()
         self.completion.trigger(result)
@@ -173,6 +186,12 @@ class Kernel:
         self._active_processes: set = set()
         self._failures: List[Any] = []
         self._process_count = itertools.count(1)
+        # Bound-instrument handles, resolved on first use so metric
+        # names appear in snapshots exactly when the legacy per-call
+        # registry lookups would have created them.
+        self._observe_step: Optional[Callable[[int], None]] = None
+        self._inc_finished: Optional[Callable[..., None]] = None
+        self._account_bound: Optional[tuple] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -216,21 +235,38 @@ class Kernel:
         track = self.metrics is not None
         queue_peak = 0
         dispatched = 0
-        while self._queue:
-            if track and len(self._queue) > queue_peak:
-                queue_peak = len(self._queue)
-            when_ns, _seq, callback = self._queue[0]
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            if track and len(queue) > queue_peak:
+                queue_peak = len(queue)
+            when_ns = queue[0][0]
             if until_ns is not None and when_ns > until_ns:
                 self.clock.advance_to(until_ns)
                 if track:
                     self._account_run(dispatched, queue_peak)
                 return dispatched
-            heapq.heappop(self._queue)
             self.clock.advance_to(when_ns)
+            callback = heappop(queue)[2]
             callback()
             dispatched += 1
-            if dispatched >= max_events and self._queue:
-                raise SimulationError(f"exceeded {max_events} events; likely a livelock")
+            if dispatched >= max_events and queue:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a livelock")
+            # Batch sweep: every event queued for this same timestamp
+            # (including ones the callbacks schedule *at* it, which
+            # sort after by sequence number) dispatches without
+            # re-checking ``until_ns`` or re-advancing the clock —
+            # ``when_ns <= until_ns`` already held above.
+            while queue and queue[0][0] == when_ns:
+                if track and len(queue) > queue_peak:
+                    queue_peak = len(queue)
+                callback = heappop(queue)[2]
+                callback()
+                dispatched += 1
+                if dispatched >= max_events and queue:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock")
         if track:
             self._account_run(dispatched, queue_peak)
         if until_ns is not None:
@@ -242,9 +278,17 @@ class Kernel:
 
     def _account_run(self, dispatched: int, queue_peak: int) -> None:
         """Fold one ``run`` call's dispatch accounting into the registry."""
-        self.metrics.counter("kernel/events_dispatched").inc(dispatched)
-        self.metrics.counter("kernel/run_calls").inc()
-        self.metrics.gauge("kernel/queue_depth_peak").set(queue_peak)
+        bound = self._account_bound
+        if bound is None:
+            bound = self._account_bound = (
+                self.metrics.bind_counter("kernel/events_dispatched"),
+                self.metrics.bind_counter("kernel/run_calls"),
+                self.metrics.bind_gauge("kernel/queue_depth_peak"),
+            )
+        inc_dispatched, inc_runs, set_peak = bound
+        inc_dispatched(dispatched)
+        inc_runs()
+        set_peak(queue_peak)
 
     def run_process(self, gen: ProcessGenerator, name: str = "") -> Any:
         """Spawn ``gen``, run to completion, and return its result.

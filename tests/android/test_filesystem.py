@@ -427,3 +427,44 @@ def test_cross_volume_rename_respects_destination_capacity(fs):
     # The failed move leaves the source intact and accounted.
     assert fs.exists("/srcvol2/f")
     assert src_volume.used_bytes == 40
+
+
+# -- resolution caching -------------------------------------------------------
+
+def test_resolution_cache_sees_retargeted_symlinks(fs):
+    fs.makedirs("/data", SYSTEM_CALLER)
+    fs.write_bytes("/data/a.txt", SYSTEM_CALLER, b"A", mode=0o644)
+    fs.write_bytes("/data/b.txt", SYSTEM_CALLER, b"B", mode=0o644)
+    fs.symlink("/data/link", "/data/a.txt", SYSTEM_CALLER)
+    # Warm the cache through the link, then re-point it (the TOCTOU
+    # primitive): the next resolution must follow the new target.
+    assert fs.read_bytes("/data/link", SYSTEM_CALLER) == b"A"
+    fs.retarget_symlink("/data/link", "/data/b.txt", SYSTEM_CALLER)
+    assert fs.read_bytes("/data/link", SYSTEM_CALLER) == b"B"
+
+
+def test_resolution_cache_sees_renames_and_unlinks(fs):
+    fs.makedirs("/data", SYSTEM_CALLER)
+    fs.write_bytes("/data/old.txt", SYSTEM_CALLER, b"X", mode=0o644)
+    assert fs.read_bytes("/data/old.txt", SYSTEM_CALLER) == b"X"  # warm
+    fs.rename("/data/old.txt", "/data/new.txt", SYSTEM_CALLER)
+    with pytest.raises(FileNotFound):
+        fs.read_bytes("/data/old.txt", SYSTEM_CALLER)
+    assert fs.read_bytes("/data/new.txt", SYSTEM_CALLER) == b"X"
+    fs.unlink("/data/new.txt", SYSTEM_CALLER)
+    with pytest.raises(FileNotFound):
+        fs.read_bytes("/data/new.txt", SYSTEM_CALLER)
+
+
+def test_mount_cache_survives_policy_swaps(fs):
+    from repro.android.filesystem import AccessPolicy
+
+    volume = StorageVolume(name="data", capacity_bytes=1 << 20)
+    fs.mount("/data", volume)
+    first = fs.mount_for("/data/file")  # warm the mount cache
+    replacement = AccessPolicy()
+    fs.set_policy("/data", replacement)
+    # set_policy swaps the policy on the mount object itself, so the
+    # cached entry must expose the new policy.
+    assert fs.mount_for("/data/file") is first
+    assert first.policy is replacement

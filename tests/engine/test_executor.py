@@ -157,3 +157,104 @@ def test_worker_exception_is_reported_and_retried():
                           backend="serial")
     assert report.stats == reference.stats
     assert any("RuntimeError" in r[2] for r in progress.retries)
+
+
+# -- blocking result wait (replaces fixed-interval polling) -------------------
+
+def _exit_immediately():  # worker target; must be module-level (spawn-safe)
+    pass
+
+
+@needs_multiprocessing
+def test_wait_for_result_wakes_immediately_on_a_queued_message():
+    import multiprocessing
+    import time
+
+    context = multiprocessing.get_context()
+    result_queue = context.Queue()
+    result_queue.put((0, "ok", "payload"))
+    started = time.perf_counter()
+    assert executor_module.wait_for_result(result_queue, (), timeout=5.0)
+    elapsed = time.perf_counter() - started
+    # The old scheduler polled at a fixed 50ms interval; a ready result
+    # must wake the blocking wait in well under one poll tick.
+    assert elapsed < 0.05
+    assert result_queue.get(timeout=1.0) == (0, "ok", "payload")
+    result_queue.close()
+    result_queue.join_thread()
+
+
+@needs_multiprocessing
+def test_wait_for_result_wakes_on_worker_death_without_a_message():
+    import multiprocessing
+    import time
+
+    context = multiprocessing.get_context()
+    result_queue = context.Queue()
+    process = context.Process(target=_exit_immediately)
+    process.start()
+    started = time.perf_counter()
+    woke_for_result = executor_module.wait_for_result(
+        result_queue, [process], timeout=5.0)
+    elapsed = time.perf_counter() - started
+    process.join()
+    result_queue.close()
+    result_queue.join_thread()
+    # The death sentinel, not the timeout, ended the wait.
+    assert woke_for_result is False
+    assert elapsed < 5.0
+
+
+@needs_multiprocessing
+def test_wait_for_result_times_out_when_nothing_happens():
+    import multiprocessing
+    import time
+
+    context = multiprocessing.get_context()
+    result_queue = context.Queue()
+    started = time.perf_counter()
+    assert executor_module.wait_for_result(
+        result_queue, (), timeout=0.05) is False
+    assert time.perf_counter() - started >= 0.04
+    result_queue.close()
+    result_queue.join_thread()
+
+
+def test_wait_for_result_degrades_when_the_queue_has_no_pipe():
+    class OpaqueQueue:
+        pass
+
+    # No ``_reader`` to sleep on: report readable so the caller falls
+    # back to its own timed ``get``.
+    assert executor_module.wait_for_result(OpaqueQueue(), (), timeout=0.0)
+
+
+# -- record-time outcome compaction -------------------------------------------
+
+def test_run_shard_records_compact_outcomes():
+    from repro.engine import OutcomeRecord
+
+    shard = CampaignSpec(installs=4, seed=3).shard(1)[0]
+    result = run_shard(shard)
+    assert result.stats.runs == 4
+    assert len(result.stats.outcomes) == 4
+    assert all(isinstance(outcome, OutcomeRecord)
+               for outcome in result.stats.outcomes)
+
+
+def test_run_shard_honours_keep_outcomes_cap():
+    from repro.engine import OutcomeRecord
+
+    shard = CampaignSpec(installs=6, seed=3, keep_outcomes=2).shard(1)[0]
+    result = run_shard(shard)
+    # Counters cover every run; only the retained records are capped.
+    assert result.stats.runs == 6
+    assert result.stats.clean_installs == 6
+    assert len(result.stats.outcomes) == 2
+    assert all(isinstance(outcome, OutcomeRecord)
+               for outcome in result.stats.outcomes)
+
+
+def test_keep_outcomes_rejects_negative_values():
+    with pytest.raises(ReproError, match="keep_outcomes"):
+        CampaignSpec(installs=1, keep_outcomes=-1)

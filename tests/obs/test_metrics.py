@@ -225,3 +225,42 @@ def test_merge_does_not_mutate_inputs():
     before = copy.deepcopy(snap)
     merge_snapshots([snap, snap])
     assert snap == before
+
+
+def test_bound_instruments_share_state_with_named_lookups():
+    registry = MetricsRegistry()
+    inc = registry.bind_counter("runs")
+    observe = registry.bind_histogram("latency")
+    raise_peak = registry.bind_gauge("peak")
+    inc()
+    inc(3)
+    observe(5)
+    raise_peak(7)
+    raise_peak(2)  # gauges keep the high-water mark
+    assert registry.counter("runs").value == 4
+    assert registry.histogram("latency").count == 1
+    assert registry.gauge("peak").value == 7
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["runs"] == 4
+    assert snapshot["gauges"]["peak"] == 7
+
+
+def test_binding_creates_the_instrument_in_snapshots():
+    # Bind-time creation is the visibility contract: callers must only
+    # bind unconditionally-recorded metrics, because the name appears
+    # in snapshots from the moment of binding.
+    registry = MetricsRegistry()
+    registry.bind_counter("created")
+    assert registry.snapshot()["counters"] == {"created": 0}
+
+
+def test_histogram_observe_inline_bucketing_matches_bucket_index():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    values = (-3, 0, 1, 2, 3, 1023, 1024)
+    for value in values:
+        histogram.observe(value)
+    assert histogram.buckets == {
+        bucket_index(value): count
+        for value, count in {-3: 2, 1: 1, 2: 2, 1023: 1, 1024: 1}.items()
+    }

@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also export a JSONL trace of one observed run")
     parser.add_argument("--report", metavar="PATH",
                         help="write the text report to PATH as well")
+    parser.add_argument("--profile", type=int, default=0, metavar="N",
+                        help="cProfile one fleet run and append the top N "
+                             "functions by cumulative time (usable without "
+                             "--write/--compare)")
     return parser
 
 
@@ -91,29 +95,55 @@ def time_fleet(spec: CampaignSpec, shards: int, backend: str,
     return runs
 
 
+def profile_fleet(spec: CampaignSpec, shards: int, backend: str,
+                  top: int) -> str:
+    """cProfile one fleet run; the top-``top`` cumulative-time report.
+
+    Paths are stripped to bare filenames (``pstats.strip_dirs``) so the
+    committed report is stable across checkouts and interpreters.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_fleet(spec, shards=shards, backend=backend, progress=NullProgress())
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return stream.getvalue().rstrip()
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if bool(args.write) == bool(args.compare):
-        print("error: exactly one of --write/--compare is required",
+    if bool(args.write) == bool(args.compare) and not (
+            args.profile and not args.write and not args.compare):
+        print("error: exactly one of --write/--compare is required "
+              "(unless only --profile is given)",
               file=sys.stderr)
         return 2
     try:
         spec = CampaignSpec(installs=args.installs, seed=args.seed)
-        runs = time_fleet(spec, args.shards, args.backend, args.repeat)
-        best = min(runs)
-        measured = best * (1.0 + args.inject_slowdown)
         lines = [
             f"bench fleet: {args.installs} installs, {args.shards} shard(s), "
             f"backend={args.backend}, seed={args.seed}",
-            "  runs     : " + ", ".join(f"{run:.3f}s" for run in runs),
-            f"  best     : {best:.3f}s "
-            f"({args.installs / best:.0f} installs/s)",
         ]
-        if args.inject_slowdown:
+        exit_code = 0
+        if args.write or args.compare:
+            runs = time_fleet(spec, args.shards, args.backend, args.repeat)
+            best = min(runs)
+            measured = best * (1.0 + args.inject_slowdown)
+            lines += [
+                "  runs     : " + ", ".join(f"{run:.3f}s" for run in runs),
+                f"  best     : {best:.3f}s "
+                f"({args.installs / best:.0f} installs/s)",
+            ]
+        if args.inject_slowdown and (args.write or args.compare):
             lines.append(
                 f"  injected : +{args.inject_slowdown * 100.0:.1f}% "
                 f"synthetic slowdown -> {measured:.3f}s")
-        exit_code = 0
         if args.write:
             baseline = BenchBaseline(
                 name="fleet",
@@ -128,7 +158,7 @@ def main(argv=None) -> int:
             )
             save_baseline(args.write, baseline)
             lines.append(f"  baseline : wrote {args.write}")
-        else:
+        elif args.compare:
             baseline = load_baseline(args.compare)
             if (baseline.installs, baseline.shards) != (args.installs,
                                                         args.shards):
@@ -147,6 +177,11 @@ def main(argv=None) -> int:
                                backend="serial", progress=NullProgress())
             count = write_trace_jsonl(args.trace, report.trace_records())
             lines.append(f"  trace    : {count} record(s) -> {args.trace}")
+        if args.profile:
+            lines.append(f"  profile  : top {args.profile} functions by "
+                         "cumulative time, one fleet run")
+            lines.append(profile_fleet(spec, args.shards, args.backend,
+                                       args.profile))
         text = "\n".join(lines)
         print(text)
         if args.report:
