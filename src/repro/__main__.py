@@ -13,6 +13,9 @@ Commands
 - ``trace``    — forensics over a recorded JSONL trace:
   ``trace summary``, ``trace critpath``, ``trace windows``,
   ``trace diff`` (``python -m repro trace windows --trace t.jsonl``).
+- ``fuzz``     — seeded scenario fuzzing under invariant oracles
+  (``--seed 7 --budget 200``); failures shrink into the regression
+  corpus at ``tests/fuzz/corpus/``.
 
 Every simulation command accepts ``--seed`` for reproducible runs; the
 ``trace`` family is a pure function of its input files, so its output
@@ -234,6 +237,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import Fuzzer, default_corpus_dir
+    from repro.obs import NULL_RECORDER
+
+    recorder, metrics = _obs_of(args)
+    corpus_dir = None if args.no_corpus else (
+        args.corpus or default_corpus_dir())
+    fuzzer = Fuzzer(
+        fuzz_seed=_seed_of(args),
+        oracles=tuple(args.oracle),
+        backend=args.backend,
+        workers=args.workers,
+        force_shards=args.shards,
+        sabotage_defense=args.break_defense,
+        corpus_dir=corpus_dir,
+        recorder=recorder if recorder is not None else NULL_RECORDER,
+        metrics=metrics,
+    )
+    report = fuzzer.run(args.budget)
+    print(report.render())
+    _emit_obs(args,
+              recorder.records() if recorder is not None else None,
+              metrics.snapshot() if metrics is not None else None)
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import (
         critical_path,
@@ -332,6 +361,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
 
+    from repro.fuzz.oracles import oracle_names
+
+    fuzz = sub.add_parser(
+        "fuzz", parents=[common],
+        help="seeded scenario fuzzing under invariant oracles")
+    fuzz.add_argument("--budget", type=int, default=200,
+                      help="number of generated cases to run")
+    fuzz.add_argument("--oracle", action="append", default=[],
+                      choices=list(oracle_names()),
+                      help="oracle(s) to check (default: all)")
+    fuzz.add_argument("--shards", type=int, default=None,
+                      help="engine-backed mode: force every case onto "
+                           "this shard count (case chaos is dropped)")
+    fuzz.add_argument("--workers", type=int, default=None,
+                      help="worker processes for non-serial backends")
+    fuzz.add_argument("--backend", default="serial",
+                      choices=["auto", "process", "serial"],
+                      help="fleet backend for case execution")
+    fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="regression corpus directory "
+                           "(default: tests/fuzz/corpus)")
+    fuzz.add_argument("--no-corpus", action="store_true",
+                      help="do not write shrunk failures to the corpus")
+    fuzz.add_argument("--break-defense", default=None, metavar="NAME",
+                      choices=["dapp", "fuse-dac", "intent-detection",
+                               "intent-origin"],
+                      help="test-only: suppress one defense's reactions "
+                           "to prove the oracles notice")
+
     trace = sub.add_parser(
         "trace", help="forensics over a recorded JSONL trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -375,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_audit(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "trace":
             return _cmd_trace(args)
     except ReproError as error:

@@ -10,7 +10,7 @@ step folds them with :meth:`CampaignStats.merge`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.outcomes import DefenseReport, InstallOutcome, OutcomeRecord
 from repro.core.scenario import Scenario
@@ -32,6 +32,16 @@ class CampaignStats:
     Aggregate counters always cover every run regardless of policy.
     Policy fields are bookkeeping, excluded from equality.
     """
+
+    #: The aggregate counters, in canonical order — the fields that
+    #: must be conserved under any merge order (see :meth:`merge`).
+    #: Consumers that compare or serialize counters (the fleet merge,
+    #: the fuzz conservation oracle) read this instead of hardcoding
+    #: the field list.
+    COUNTER_FIELDS = (
+        "runs", "installs_completed", "hijacks", "clean_installs",
+        "errors", "alarms", "blocked", "alarmed_runs", "blocked_runs",
+    )
 
     runs: int = 0
     installs_completed: int = 0
@@ -104,6 +114,10 @@ class CampaignStats:
             delta += total - last
             marks[report.defense_name] = total
         return delta
+
+    def counter_tuple(self) -> Tuple[int, ...]:
+        """The aggregate counters as a tuple, in canonical field order."""
+        return tuple(getattr(self, name) for name in self.COUNTER_FIELDS)
 
     def merge(self, other: "CampaignStats") -> "CampaignStats":
         """Combine two stats into a new one (associative; identity =

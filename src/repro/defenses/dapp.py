@@ -73,6 +73,7 @@ class Dapp(App):
         # stage for an update) is not suspicious.
         self._consumed_paths: set = set()
         self.report = DefenseReport(defense_name="DAPP")
+        self._suppressed = False
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -186,7 +187,17 @@ class Dapp(App):
                 "one grabbed at download time: replacement attack"
             )
 
+    def suppress_reactions(self) -> None:
+        """Test-only: go blind — watch everything, alarm on nothing.
+
+        Exists for the fuzz completeness oracle, which must prove it
+        notices a defense that silently stopped working.
+        """
+        self._suppressed = True
+
     def _flag(self, message: str) -> None:
+        if self._suppressed:
+            return
         self.report.alarms.append(message)
         obs = self.system.obs
         if obs.enabled:

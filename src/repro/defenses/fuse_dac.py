@@ -47,6 +47,15 @@ class HardenedFuseDaemon(FuseDaemon):
         self.report = DefenseReport(defense_name="FUSE-DAC")
         self._obs = NULL_RECORDER
         self._clock = None
+        self._suppressed = False
+
+    def suppress_reactions(self) -> None:
+        """Test-only: keep the APK list but stop enforcing it.
+
+        Exists for the fuzz completeness oracle, which must prove it
+        notices a defense that silently stopped working.
+        """
+        self._suppressed = True
 
     def bind_observability(self, recorder, clock=None) -> None:
         """Route block decisions to ``recorder`` (timed via ``clock``)."""
@@ -78,13 +87,15 @@ class HardenedFuseDaemon(FuseDaemon):
                 return
         if caller.is_system or caller.uid == entry.owner_uid:
             return
+        if self._suppressed:
+            return
         self._block(f"write to protected APK {path} by uid {caller.uid}")
         raise AccessDenied(path, "APK is write-protected (owner-only)")
 
     # -- handle_rename ------------------------------------------------------------------
 
     def handle_rename(self, fs: Filesystem, caller: Caller, src: str, dst: str) -> None:
-        if caller.is_system:
+        if caller.is_system or self._suppressed:
             return
         self._adopt_existing(fs, dst)
         for affected in (src, dst):

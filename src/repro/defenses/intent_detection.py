@@ -40,6 +40,15 @@ class IntentDetectionScheme:
         self._last_by_recipient: Dict[str, IntentRecord] = {}
         self.report = DefenseReport(defense_name="Intent-Detection")
         self._obs = NULL_RECORDER
+        self._suppressed = False
+
+    def suppress_reactions(self) -> None:
+        """Test-only: keep recording Intents but never alarm or block.
+
+        Exists for the fuzz completeness oracle, which must prove it
+        notices a defense that silently stopped working.
+        """
+        self._suppressed = True
 
     def install(self, firewall: IntentFirewall) -> "IntentDetectionScheme":
         """Register with ``firewall``; returns self for chaining."""
@@ -60,6 +69,8 @@ class IntentDetectionScheme:
         if interval >= self.threshold_ns:
             return InspectionResult()
         if self._whitelisted(previous, record):
+            return InspectionResult()
+        if self._suppressed:
             return InspectionResult()
         alarm = (
             f"possible redirect-Intent attack on {record.recipient_package}: "

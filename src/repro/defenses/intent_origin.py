@@ -29,6 +29,15 @@ class IntentOriginScheme:
         self.report = DefenseReport(defense_name="Intent-Origin")
         self.stamped: List[str] = []
         self._obs = NULL_RECORDER
+        self._suppressed = False
+
+    def suppress_reactions(self) -> None:
+        """Test-only: stop stamping sender identities into Intents.
+
+        Exists for the fuzz completeness oracle, which must prove it
+        notices a defense that silently stopped working.
+        """
+        self._suppressed = True
 
     def install(self, firewall: IntentFirewall) -> "IntentOriginScheme":
         """Register with ``firewall``; returns self for chaining."""
@@ -41,6 +50,8 @@ class IntentOriginScheme:
 
     def inspect(self, record: IntentRecord) -> InspectionResult:
         """The setIntentOrigin call inside checkIntent."""
+        if self._suppressed:
+            return InspectionResult()
         record.intent.set_intent_origin(record.sender_package)
         self.stamped.append(record.sender_package)
         if self._obs.enabled:

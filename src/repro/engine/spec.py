@@ -63,14 +63,27 @@ def workload_package(index: int) -> str:
 #: Failure-injection modes a chaos spec may name.
 CHAOS_MODES = ("crash", "hang", "error")
 
+#: Floor for :attr:`CampaignSpec.poll_interval_ns`.  The wait-and-see
+#: attacker polls for the whole 60 s arm budget; anything faster than
+#: 1 kHz multiplies into millions of kernel events per trial and trips
+#: the simulator's livelock guard (found by ``repro fuzz``).
+MIN_POLL_INTERVAL_NS = 1_000_000
 
-def parse_chaos(chaos: Optional[str]) -> Tuple[str, Tuple[int, ...]]:
+
+def parse_chaos(chaos: Optional[str],
+                shard_count: Optional[int] = None) -> Tuple[str, Tuple[int, ...]]:
     """Parse and validate a ``mode:i,j,...`` chaos spec.
 
     Validation happens here — once, up front, in the parent process —
     so a malformed spec raises a clean :class:`ReproError` (CLI exit 2)
-    instead of a raw ``ValueError`` from inside worker scheduling.
-    Returns ``(mode, indices)``; ``("", ())`` when ``chaos`` is None.
+    instead of a raw ``ValueError`` from inside worker scheduling, and
+    every rejection message names the offending token.  Rejected up
+    front: non-integer tokens, negative indices, duplicate indices and
+    empty tokens (a trailing or doubled comma).  When ``shard_count``
+    is given (the executor knows it at shard time), an index past the
+    last shard is rejected too — otherwise the injection would silently
+    never fire.  Returns ``(mode, indices)``; ``("", ())`` when
+    ``chaos`` is None.
     """
     if chaos is None:
         return ("", ())
@@ -79,16 +92,34 @@ def parse_chaos(chaos: Optional[str]) -> Tuple[str, Tuple[int, ...]]:
         raise ReproError(
             f"invalid chaos spec {chaos!r}: unknown mode {mode!r} "
             f"(valid: {CHAOS_MODES})")
-    indices = []
-    for part in raw.split(","):
-        if not part:
-            continue
-        try:
-            indices.append(int(part))
-        except ValueError:
-            raise ReproError(
-                f"invalid chaos spec {chaos!r}: {part!r} is not a "
-                "shard index") from None
+    indices: List[int] = []
+    if raw:
+        for part in raw.split(","):
+            if not part.strip():
+                raise ReproError(
+                    f"invalid chaos spec {chaos!r}: empty shard index "
+                    "(trailing or doubled comma)")
+            try:
+                index = int(part)
+            except ValueError:
+                raise ReproError(
+                    f"invalid chaos spec {chaos!r}: {part!r} is not a "
+                    "shard index") from None
+            if index < 0:
+                raise ReproError(
+                    f"invalid chaos spec {chaos!r}: shard index "
+                    f"{part.strip()!r} is negative")
+            if index in indices:
+                raise ReproError(
+                    f"invalid chaos spec {chaos!r}: duplicate shard "
+                    f"index {part.strip()!r}")
+            indices.append(index)
+    if shard_count is not None:
+        for index in indices:
+            if index >= shard_count:
+                raise ReproError(
+                    f"invalid chaos spec {chaos!r}: shard index {index} "
+                    f"is out of range for {shard_count} shard(s)")
     return (mode, tuple(indices))
 
 
@@ -114,6 +145,21 @@ class CampaignSpec:
     #: (None = all; 0 = none).  Aggregate counters always cover every
     #: run — this only bounds shard memory and result-pickle size.
     keep_outcomes: Optional[int] = None
+    #: Candidate extra ``uses-permission`` entries for published APKs;
+    #: each install draws a subset derived from its *global* index, so
+    #: APK shapes stay shard-independent (see :meth:`permissions_for`).
+    permission_pool: Tuple[str, ...] = ()
+    #: Upper bound on extra permissions per published APK (0 = plain
+    #: APKs, the pre-fuzz behaviour).
+    max_extra_permissions: int = 0
+    #: Poll interval of the ``wait-and-see`` attacker in simulated ns
+    #: (None = the attack's default); a fuzzable timing offset.
+    poll_interval_ns: Optional[int] = None
+    #: Test-only: neuter the named (enabled) defense after
+    #: provisioning — it stays installed but stops reacting.  Exists so
+    #: the fuzz completeness oracle can prove it detects a broken
+    #: defense; never set it outside tests.
+    sabotage_defense: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.installs < 0:
@@ -133,6 +179,31 @@ class CampaignSpec:
             if name not in VALID_DEFENSES:
                 raise ReproError(
                     f"unknown defense {name!r}; valid: {VALID_DEFENSES}")
+        if self.max_extra_permissions < 0:
+            raise ReproError(
+                f"max_extra_permissions must be >= 0, "
+                f"got {self.max_extra_permissions}")
+        if self.max_extra_permissions > len(self.permission_pool):
+            raise ReproError(
+                f"max_extra_permissions ({self.max_extra_permissions}) "
+                f"exceeds the permission pool size "
+                f"({len(self.permission_pool)})")
+        if len(set(self.permission_pool)) != len(self.permission_pool):
+            raise ReproError(
+                f"permission_pool has duplicates: {self.permission_pool}")
+        if (self.poll_interval_ns is not None
+                and self.poll_interval_ns < MIN_POLL_INTERVAL_NS):
+            # Found by fuzzing: a sub-millisecond poll loop against the
+            # 60 s arm budget floods the kernel's event cap (a livelock
+            # by exhaustion), so reject it here instead of deep in a run.
+            raise ReproError(
+                f"poll_interval_ns must be >= {MIN_POLL_INTERVAL_NS} "
+                f"(1 ms), got {self.poll_interval_ns}")
+        if (self.sabotage_defense is not None
+                and self.sabotage_defense not in self.defenses):
+            raise ReproError(
+                f"sabotage_defense {self.sabotage_defense!r} is not one of "
+                f"the enabled defenses {self.defenses}")
 
     # -- workload derivation (global, shard-independent) ----------------------
 
@@ -144,6 +215,24 @@ class CampaignSpec:
         """
         rng = DeterministicRandom(self.seed).fork(f"pkg-{index}")
         return self.base_size_bytes + rng.randint(0, self.base_size_bytes)
+
+    def permissions_for(self, index: int) -> Tuple[str, ...]:
+        """Extra permissions of global install ``index``.
+
+        Derived, like :meth:`size_for`, from the campaign seed and the
+        *global* index — never the shard layout — so the APK shape of
+        install ``k`` is identical no matter which shard publishes it.
+        The subset keeps the pool's declaration order for a canonical
+        manifest shape.
+        """
+        if not self.permission_pool or not self.max_extra_permissions:
+            return ()
+        rng = DeterministicRandom(self.seed).fork(f"perm-{index}")
+        count = rng.randint(0, self.max_extra_permissions)
+        if count == 0:
+            return ()
+        picked = set(rng.sample(self.permission_pool, count))
+        return tuple(p for p in self.permission_pool if p in picked)
 
     def child_seed(self, shard_index: int) -> int:
         """Scenario seed of shard ``shard_index`` (sim.rand label-hash)."""
@@ -161,6 +250,9 @@ class CampaignSpec:
         """
         if count < 1:
             raise ReproError(f"shard count must be >= 1, got {count}")
+        # The shard count is only known here: reject chaos indices that
+        # would silently never fire.
+        parse_chaos(self.chaos, shard_count=count)
         if count > 1 and self.attack != "none" and not self.rearm_between:
             raise ReproError(
                 "a one-shot attacker (rearm_between=False) arms once per "
@@ -209,8 +301,13 @@ class ShardSpec:
         attacker_cls = ATTACKS[spec.attack]
         factory = None
         if attacker_cls is not None:
-            factory = lambda s: attacker_cls(fingerprint_for(installer_cls))
-        return Scenario.build(
+            kwargs = {}
+            if (spec.poll_interval_ns is not None
+                    and attacker_cls is WaitAndSeeHijacker):
+                kwargs["poll_interval_ns"] = spec.poll_interval_ns
+            factory = lambda s: attacker_cls(fingerprint_for(installer_cls),
+                                             **kwargs)
+        scenario = Scenario.build(
             installer=installer_cls,
             attacker_factory=factory,
             device=DEVICES[spec.device](),
@@ -219,9 +316,12 @@ class ShardSpec:
             recorder=recorder,
             metrics=metrics,
         )
+        if spec.sabotage_defense is not None:
+            _sabotage(scenario, spec.sabotage_defense)
+        return scenario
 
     def publish_workload(self, scenario: Scenario) -> List[str]:
-        """Publish this shard's slice; sizes come from global indices."""
+        """Publish this shard's slice; shapes come from global indices."""
         packages = []
         for index in range(self.start, self.stop):
             package = workload_package(index)
@@ -229,6 +329,23 @@ class ShardSpec:
                 package,
                 label=f"Fleet App {index}",
                 size_bytes=self.campaign.size_for(index),
+                uses_permissions=self.campaign.permissions_for(index),
             )
             packages.append(package)
         return packages
+
+
+#: The scenario attribute holding each defense object, by spec name.
+_DEFENSE_ATTRS = {
+    "dapp": "dapp",
+    "fuse-dac": "fuse_dac",
+    "intent-detection": "intent_detection",
+    "intent-origin": "intent_origin",
+}
+
+
+def _sabotage(scenario: Scenario, defense: str) -> None:
+    """Neuter one provisioned defense (test-only, see CampaignSpec)."""
+    target = getattr(scenario, _DEFENSE_ATTRS[defense], None)
+    if target is not None:
+        target.suppress_reactions()

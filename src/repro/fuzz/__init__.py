@@ -1,0 +1,72 @@
+"""repro.fuzz: deterministic scenario fuzzing with invariant oracles.
+
+The fuzzer samples randomized-but-seeded AIT workloads — installer,
+attack, defense, device and chaos combinations, randomized timing
+offsets, APK sizes and permission shapes — lowers each one to a
+:class:`repro.engine.CampaignSpec`, executes it through the existing
+kernel and fleet engine, and checks a set of **invariant oracles**
+(:mod:`repro.fuzz.oracles`): determinism, defense soundness, defense
+completeness, outcome conservation and trace well-formedness.
+
+On an oracle failure the workload is **shrunk**
+(:mod:`repro.fuzz.shrink`) to a minimal still-failing case and written
+to the regression corpus (:mod:`repro.fuzz.corpus`), which a pytest
+replayer runs as part of tier-1.
+
+Everything is a pure function of the fuzz seed: the same
+``python -m repro fuzz --seed S --budget N`` run is byte-identical
+across invocations, worker counts and backends.
+"""
+
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    corpus_entry,
+    corpus_file_name,
+    default_corpus_dir,
+    load_corpus,
+    replay_entry,
+    write_corpus_case,
+)
+from repro.fuzz.gen import (
+    FUZZ_ATTACKS,
+    FUZZ_DEVICES,
+    FUZZ_INSTALLERS,
+    PERMISSION_POOL,
+    FuzzCase,
+    generate_case,
+)
+from repro.fuzz.oracles import (
+    ORACLES,
+    FuzzRun,
+    Violation,
+    check_run,
+    oracle_names,
+)
+from repro.fuzz.runner import CaseResult, Fuzzer, FuzzReport
+from repro.fuzz.shrink import shrink_case, shrink_candidates
+
+__all__ = [
+    "CORPUS_VERSION",
+    "CaseResult",
+    "FUZZ_ATTACKS",
+    "FUZZ_DEVICES",
+    "FUZZ_INSTALLERS",
+    "FuzzCase",
+    "FuzzReport",
+    "FuzzRun",
+    "Fuzzer",
+    "ORACLES",
+    "PERMISSION_POOL",
+    "Violation",
+    "check_run",
+    "corpus_entry",
+    "corpus_file_name",
+    "default_corpus_dir",
+    "generate_case",
+    "load_corpus",
+    "oracle_names",
+    "replay_entry",
+    "shrink_candidates",
+    "shrink_case",
+    "write_corpus_case",
+]

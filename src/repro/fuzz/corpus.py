@@ -1,0 +1,146 @@
+"""The shrinking regression corpus: failures that must never come back.
+
+Every minimized failing case the fuzzer finds is written to
+``tests/fuzz/corpus/`` as a small replayable JSON file.  Two kinds of
+entry live there:
+
+- ``expect: "pass"`` — a case that must replay clean: one that *used
+  to* violate an oracle (a real bug, since fixed) or a minimized
+  boundary workload worth pinning.  Replay re-executes it and requires
+  every oracle to stay green: the regression pin.
+- ``expect: "fail"`` — a case run with a deliberately broken defense
+  (the ``sabotage`` knob).  Replay requires the named oracle to still
+  fire: it pins the *oracle's* power, proving the fuzzer would notice
+  if a defense silently stopped working.
+
+The pytest replayer (``tests/fuzz/test_corpus_replay.py``) walks the
+directory and runs :func:`replay_entry` on each file as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracles import ORACLES, Violation
+
+#: Bump when the entry schema changes; replay rejects unknown versions.
+CORPUS_VERSION = 1
+
+_EXPECTATIONS = ("pass", "fail")
+
+
+def default_corpus_dir() -> Path:
+    """The in-repo corpus: ``tests/fuzz/corpus`` beside ``src/``."""
+    return Path(__file__).resolve().parents[3] / "tests" / "fuzz" / "corpus"
+
+
+def corpus_file_name(oracle: str, case: FuzzCase) -> str:
+    """Stable file name: oracle plus the case's content hash."""
+    return f"{oracle}-{case.case_id()}.json"
+
+
+def corpus_entry(oracle: str, case: FuzzCase, note: str = "",
+                 expect: str = "pass",
+                 sabotage: Optional[str] = None,
+                 violation: str = "") -> Dict[str, Any]:
+    """Build one corpus entry (a JSON-ready dict)."""
+    if oracle not in ORACLES:
+        raise ReproError(f"unknown oracle {oracle!r}; valid: {tuple(ORACLES)}")
+    if expect not in _EXPECTATIONS:
+        raise ReproError(
+            f"expect must be one of {_EXPECTATIONS}, got {expect!r}")
+    return {
+        "version": CORPUS_VERSION,
+        "oracle": oracle,
+        "expect": expect,
+        "sabotage": sabotage,
+        "note": note,
+        "violation": violation,
+        "case": json.loads(case.to_json()),
+    }
+
+
+def write_corpus_case(directory: Path, oracle: str, case: FuzzCase,
+                      note: str = "", expect: str = "pass",
+                      sabotage: Optional[str] = None,
+                      violation: str = "") -> Path:
+    """Write one entry; returns the path.  Idempotent per (oracle, case)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = corpus_entry(oracle, case, note=note, expect=expect,
+                         sabotage=sabotage, violation=violation)
+    path = directory / corpus_file_name(oracle, case)
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Path) -> List[Tuple[Path, Dict[str, Any]]]:
+    """All entries under ``directory``, sorted by file name.
+
+    Raises :class:`~repro.errors.ReproError` on a malformed entry —
+    a corrupt corpus file is itself a regression.
+    """
+    directory = Path(directory)
+    entries = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"corpus file {path.name} is not JSON: {exc}")
+        _check_entry(path.name, entry)
+        entries.append((path, entry))
+    return entries
+
+
+def _check_entry(name: str, entry: Any) -> None:
+    if not isinstance(entry, dict):
+        raise ReproError(f"corpus file {name} is not a JSON object")
+    version = entry.get("version")
+    if version != CORPUS_VERSION:
+        raise ReproError(
+            f"corpus file {name} has version {version!r}, "
+            f"this library reads {CORPUS_VERSION}")
+    oracle = entry.get("oracle")
+    if oracle not in ORACLES:
+        raise ReproError(
+            f"corpus file {name} names unknown oracle {oracle!r}")
+    if entry.get("expect") not in _EXPECTATIONS:
+        raise ReproError(
+            f"corpus file {name} has expect={entry.get('expect')!r}, "
+            f"valid: {_EXPECTATIONS}")
+    if "case" not in entry:
+        raise ReproError(f"corpus file {name} has no case")
+
+
+def replay_entry(entry: Dict[str, Any],
+                 backend: str = "serial") -> Tuple[bool, List[Violation]]:
+    """Re-execute one corpus entry and judge it against its expectation.
+
+    Returns ``(ok, violations)``: for an ``expect: "pass"`` entry, ok
+    means *no* oracle fired; for ``expect: "fail"``, ok means the
+    entry's named oracle *did* fire (others are ignored — a sabotaged
+    defense may trip several).
+    """
+    from repro.fuzz.runner import execute_case  # runner imports us back
+
+    case = FuzzCase.from_json(json.dumps(entry["case"]))
+    run = execute_case(case, sabotage_defense=entry.get("sabotage"),
+                       backend=backend)
+    if entry["expect"] == "pass":
+        violations = _check(run, tuple(ORACLES))
+        return (not violations, violations)
+    violations = _check(run, (entry["oracle"],))
+    return (bool(violations), violations)
+
+
+def _check(run: Any, oracles: Sequence[str]) -> List[Violation]:
+    from repro.fuzz.oracles import check_run
+
+    return check_run(run, oracles)

@@ -1,0 +1,266 @@
+"""Invariant oracles: what must hold for *every* generated workload.
+
+Each oracle inspects one :class:`FuzzRun` — a case plus the fleet
+reports of two independent executions — and returns the invariant
+violations it found.  The oracles encode the paper's claims as machine-
+checkable properties:
+
+- **determinism** — same seed, same everything: the two executions
+  must agree byte-for-byte on traces (via
+  :func:`repro.obs.analyze.diff_traces`) and bit-for-bit on stats and
+  metric snapshots, for any shard/worker/backend combination.
+- **soundness** — a benign schedule (no attack, or an attacker never
+  armed) must produce zero alarms, zero blocked operations, zero
+  hijacks and zero errors: defenses must not cry wolf (Section VI-A).
+- **completeness** — an armed attack that strikes inside the race
+  window must be caught by the enabled defense: FUSE-DAC blocks every
+  strike (no hijack lands), DAPP alarms on every hijack (Table VII).
+- **conservation** — merged :class:`CampaignStats` totals equal the
+  trial count under *any* merge order, and the per-run accounting
+  identities hold (installed = hijacked + clean, etc.).
+- **well-formed** — per shard, the trace is structurally sane: spans
+  close after they open, event timestamps are monotone in emission
+  order, and same-layer spans nest rather than partially overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+from repro.core.campaign import CampaignStats
+from repro.engine.merge import FleetReport, merge_stats
+from repro.fuzz.gen import FuzzCase
+from repro.obs.analyze import diff_traces, validate_records
+from repro.obs.export import trace_to_jsonl
+from repro.obs.trace import EVENT
+from repro.sim.rand import DeterministicRandom
+
+#: Defenses that catch the Step-3 file-swap attacks (Table VII); the
+#: Intent schemes address a different threat and are exempt from the
+#: completeness oracle.
+BLOCKING_DEFENSES = ("fuse-dac",)
+DETECTING_DEFENSES = ("dapp",)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure: which invariant broke and how."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+@dataclass
+class FuzzRun:
+    """One executed case: the evidence the oracles inspect.
+
+    ``report`` and ``replay`` are two independent executions of the
+    same lowered spec (the determinism oracle compares them; every
+    other oracle reads ``report`` only).
+    """
+
+    case: FuzzCase
+    report: FleetReport
+    replay: FleetReport
+    #: The runner's broken-defense knob, so oracles can annotate.
+    sabotage_defense: str = ""
+
+
+Oracle = Callable[[FuzzRun], List[Violation]]
+
+
+def _stats_tuple(stats: CampaignStats) -> Tuple[int, ...]:
+    # The conserved fields are whatever CampaignStats says they are —
+    # the oracle must not drift from the model's own counter list.
+    return stats.counter_tuple()
+
+
+def _strike_events(report: FleetReport) -> List[Dict[str, Any]]:
+    return [record for record in report.trace_records()
+            if record.get("type") == EVENT
+            and record.get("name") == "attack/strike"]
+
+
+# -- determinism ---------------------------------------------------------------
+
+def check_determinism(run: FuzzRun) -> List[Violation]:
+    """Same seed -> byte-identical trace, bit-identical stats/metrics."""
+    violations = []
+    first = trace_to_jsonl(run.report.trace_records())
+    second = trace_to_jsonl(run.replay.trace_records())
+    if first != second:
+        diff = diff_traces(run.report.trace_records(),
+                           run.replay.trace_records())
+        violations.append(Violation(
+            "determinism",
+            f"replay trace diverged: {len(diff.changed)} changed, "
+            f"{len(diff.removed)} only in run 1, "
+            f"{len(diff.added)} only in run 2"))
+    if _stats_tuple(run.report.stats) != _stats_tuple(run.replay.stats):
+        violations.append(Violation(
+            "determinism",
+            f"replay stats diverged: {_stats_tuple(run.report.stats)} != "
+            f"{_stats_tuple(run.replay.stats)}"))
+    if run.report.metrics != run.replay.metrics:
+        violations.append(Violation(
+            "determinism", "replay metrics snapshot diverged"))
+    return violations
+
+
+# -- defense soundness ---------------------------------------------------------
+
+def check_soundness(run: FuzzRun) -> List[Violation]:
+    """A benign schedule must trigger nothing (Section VI-A)."""
+    case, stats = run.case, run.report.stats
+    benign = case.attack == "none" or not case.arm_attacker
+    if not benign:
+        return []
+    violations = []
+    if stats.alarms or stats.blocked:
+        violations.append(Violation(
+            "soundness",
+            f"benign schedule raised {stats.alarms} alarm(s) and "
+            f"{stats.blocked} block(s) — defenses must not cry wolf"))
+    if stats.hijacks:
+        violations.append(Violation(
+            "soundness",
+            f"benign schedule reported {stats.hijacks} hijack(s) with no "
+            "armed attacker"))
+    if stats.errors:
+        violations.append(Violation(
+            "soundness", f"benign schedule hit {stats.errors} error(s)"))
+    if stats.installs_completed != stats.runs:
+        violations.append(Violation(
+            "soundness",
+            f"only {stats.installs_completed} of {stats.runs} benign "
+            "install(s) completed"))
+    return violations
+
+
+# -- defense completeness ------------------------------------------------------
+
+def check_completeness(run: FuzzRun) -> List[Violation]:
+    """An in-window strike must be caught by the enabled defense."""
+    case, stats = run.case, run.report.stats
+    if case.attack == "none" or not case.arm_attacker:
+        return []
+    violations = []
+    strikes = _strike_events(run.report)
+    blocking = [d for d in case.defenses if d in BLOCKING_DEFENSES]
+    detecting = [d for d in case.defenses if d in DETECTING_DEFENSES]
+    if blocking:
+        if stats.hijacks:
+            violations.append(Violation(
+                "completeness",
+                f"{stats.hijacks} hijack(s) landed with "
+                f"{'+'.join(blocking)} enabled — a blocking defense "
+                "must close the race window"))
+        unblocked = [e for e in strikes
+                     if not (e.get("attrs") or {}).get("blocked")]
+        if unblocked:
+            violations.append(Violation(
+                "completeness",
+                f"{len(unblocked)} of {len(strikes)} strike(s) went "
+                f"unblocked with {'+'.join(blocking)} enabled"))
+    elif detecting:
+        if stats.alarmed_runs < stats.hijacks:
+            violations.append(Violation(
+                "completeness",
+                f"{stats.hijacks} hijack(s) but only {stats.alarmed_runs} "
+                f"alarmed run(s) with {'+'.join(detecting)} enabled — "
+                "every in-window replacement must be detected"))
+    return violations
+
+
+# -- outcome conservation ------------------------------------------------------
+
+def check_conservation(run: FuzzRun) -> List[Violation]:
+    """Totals equal trial count under any merge order."""
+    case, report = run.case, run.report
+    violations = []
+    if report.stats.runs != case.trials:
+        violations.append(Violation(
+            "conservation",
+            f"stats cover {report.stats.runs} run(s), case asked for "
+            f"{case.trials} trial(s)"))
+    installed = report.stats.installs_completed
+    if report.stats.hijacks + report.stats.clean_installs != installed:
+        violations.append(Violation(
+            "conservation",
+            f"hijacked ({report.stats.hijacks}) + clean "
+            f"({report.stats.clean_installs}) != installed ({installed})"))
+    for name in ("alarmed_runs", "blocked_runs"):
+        if getattr(report.stats, name) > report.stats.runs:
+            violations.append(Violation(
+                "conservation",
+                f"{name} ({getattr(report.stats, name)}) exceeds total "
+                f"runs ({report.stats.runs})"))
+    # Fold the per-shard stats under several seed-derived merge orders:
+    # every permutation must reproduce the merged totals.
+    parts = [shard.stats for shard in report.shards]
+    reference = _stats_tuple(report.stats)
+    orders = _merge_orders(case.seed, len(parts))
+    for order in orders:
+        merged = merge_stats(parts[i] for i in order)
+        if _stats_tuple(merged) != reference:
+            violations.append(Violation(
+                "conservation",
+                f"merge order {list(order)} changed the totals: "
+                f"{_stats_tuple(merged)} != {reference}"))
+    return violations
+
+
+def _merge_orders(seed: int, count: int) -> List[Tuple[int, ...]]:
+    """Identity, reversal, and a few seeded shuffles of ``range(count)``."""
+    if count == 0:
+        return []
+    orders = [tuple(range(count)), tuple(reversed(range(count)))]
+    rng = DeterministicRandom(seed).fork("merge-orders")
+    for _ in range(3):
+        order = list(range(count))
+        rng.shuffle(order)
+        orders.append(tuple(order))
+    return orders
+
+
+# -- trace well-formedness -----------------------------------------------------
+
+def check_well_formed(run: FuzzRun) -> List[Violation]:
+    """Spans nest, event timestamps are monotone per shard.
+
+    The structural rules live with the trace tooling
+    (:func:`repro.obs.analyze.validate_records`) so they apply to any
+    exported trace, not just fuzz runs; this oracle wraps each problem
+    it reports as a :class:`Violation`.
+    """
+    return [Violation("well-formed", message)
+            for message in validate_records(run.report.trace_records())]
+
+
+#: Oracle registry, in check order.  Keys are the CLI ``--oracle`` names.
+ORACLES: Dict[str, Oracle] = {
+    "determinism": check_determinism,
+    "soundness": check_soundness,
+    "completeness": check_completeness,
+    "conservation": check_conservation,
+    "well-formed": check_well_formed,
+}
+
+
+def oracle_names() -> Tuple[str, ...]:
+    """All registered oracle names, in check order."""
+    return tuple(ORACLES)
+
+
+def check_run(run: FuzzRun,
+              oracles: Iterable[str] = ()) -> List[Violation]:
+    """Run the named oracles (default: all) over one executed case."""
+    names = tuple(oracles) or oracle_names()
+    violations: List[Violation] = []
+    for name in names:
+        violations.extend(ORACLES[name](run))
+    return violations

@@ -1,0 +1,216 @@
+"""The fuzz loop: generate, execute twice, check, shrink, record.
+
+:class:`Fuzzer` drives ``budget`` cases off one fuzz seed.  Each case
+is lowered to a campaign spec and executed **twice** through
+:func:`repro.engine.run_fleet` — the second execution feeds the
+determinism oracle — then every enabled oracle inspects the pair.  A
+failing case is greedily shrunk (:mod:`repro.fuzz.shrink`) to a minimal
+reproducer and written to the regression corpus.
+
+The loop itself is observable: with a recorder/metrics attached it
+emits one ``fuzz/case`` span per case and ``fuzz/*`` counters.  The
+fuzzer has no wall clock (determinism would die with it), so its trace
+runs on **case index as the time axis** — span ``k`` covers
+``[k, k+1)`` — which keeps the report byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.executor import run_fleet
+from repro.errors import ReproError
+from repro.fuzz.corpus import write_corpus_case
+from repro.fuzz.gen import FuzzCase, generate_case
+from repro.fuzz.oracles import FuzzRun, Violation, check_run, oracle_names
+from repro.fuzz.shrink import shrink_case
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER
+
+#: Engine-backed runs bound each shard; chaos "hang" shards would
+#: otherwise stall an hour.  One timeout then serial fallback is the
+#: cheapest deterministic path through fault injection.
+_SHARD_TIMEOUT_S = 10.0
+
+
+def execute_case(case: FuzzCase, sabotage_defense: Optional[str] = None,
+                 backend: str = "serial",
+                 workers: Optional[int] = None,
+                 force_shards: Optional[int] = None) -> FuzzRun:
+    """Run ``case`` twice and bundle the evidence for the oracles.
+
+    ``force_shards`` is the CLI's engine-backed mode: every case runs
+    with that shard count instead of its own plan.  Case chaos is
+    dropped with it — its indices were drawn against the case's count.
+    """
+    if force_shards is not None:
+        if case.attack != "none" and not case.rearm_between:
+            force_shards = 1  # a one-shot attacker refuses to shard
+        case = replace(case, shards=force_shards, chaos=None)
+    # A sabotaged defense can only break where it is enabled; cases
+    # without it run (and must stay) clean.
+    if sabotage_defense is not None and sabotage_defense not in case.defenses:
+        sabotage_defense = None
+    spec = case.campaign_spec(observe=True,
+                              sabotage_defense=sabotage_defense)
+    kwargs = dict(shards=case.shards, backend=backend, workers=workers)
+    if backend != "serial":
+        kwargs.update(shard_timeout=_SHARD_TIMEOUT_S, max_retries=0)
+    report = run_fleet(spec, **kwargs)
+    replay = run_fleet(spec, **kwargs)
+    return FuzzRun(case=case, report=report, replay=replay,
+                   sabotage_defense=sabotage_defense or "")
+
+
+@dataclass
+class CaseResult:
+    """Verdict for one fuzzed case."""
+
+    index: int
+    case: FuzzCase
+    violations: List[Violation] = field(default_factory=list)
+    shrunk: Optional[FuzzCase] = None
+    corpus_path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz session produced."""
+
+    fuzz_seed: int
+    budget: int
+    oracles: Tuple[str, ...]
+    results: List[CaseResult] = field(default_factory=list)
+    sabotage_defense: str = ""
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """Deterministic human-readable summary (no wall clock)."""
+        lines = [
+            f"fuzz: seed={self.fuzz_seed} budget={self.budget} "
+            f"oracles={','.join(self.oracles)}"
+            + (f" sabotage={self.sabotage_defense}"
+               if self.sabotage_defense else ""),
+        ]
+        for result in self.failures:
+            lines.append(f"  case {result.index} FAILED "
+                         f"({result.case.describe()})")
+            for violation in result.violations:
+                lines.append(f"    {violation}")
+            if result.shrunk is not None:
+                lines.append(f"    shrunk to: {result.shrunk.describe()}")
+            if result.corpus_path is not None:
+                lines.append(f"    corpus: {result.corpus_path.name}")
+        lines.append(
+            f"  {len(self.results) - len(self.failures)}/{len(self.results)} "
+            f"case(s) green, {len(self.failures)} violation case(s)")
+        return "\n".join(lines)
+
+
+class Fuzzer:
+    """Seeded fuzz sessions over the AIT scenario space."""
+
+    def __init__(self, fuzz_seed: int,
+                 oracles: Sequence[str] = (),
+                 backend: str = "serial",
+                 workers: Optional[int] = None,
+                 force_shards: Optional[int] = None,
+                 sabotage_defense: Optional[str] = None,
+                 corpus_dir: Optional[Path] = None,
+                 recorder=NULL_RECORDER,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        unknown = set(oracles) - set(oracle_names())
+        if unknown:
+            raise ReproError(
+                f"unknown oracle(s) {sorted(unknown)}; "
+                f"valid: {oracle_names()}")
+        self.fuzz_seed = fuzz_seed
+        self.oracles = tuple(oracles) or oracle_names()
+        self.backend = backend
+        self.workers = workers
+        self.force_shards = force_shards
+        self.sabotage_defense = sabotage_defense
+        self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
+        self.recorder = recorder
+        self.metrics = metrics
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute(self, case: FuzzCase) -> FuzzRun:
+        run = execute_case(case, sabotage_defense=self.sabotage_defense,
+                           backend=self.backend, workers=self.workers,
+                           force_shards=self.force_shards)
+        if self.metrics is not None:
+            self.metrics.counter("fuzz/executions").inc()
+        return run
+
+    def _check(self, case: FuzzCase) -> List[Violation]:
+        return check_run(self._execute(case), self.oracles)
+
+    def check_case(self, index: int, case: FuzzCase) -> CaseResult:
+        """Execute and judge one case; shrink + record on failure."""
+        violations = self._check(case)
+        result = CaseResult(index=index, case=case, violations=violations)
+        if self.metrics is not None:
+            self.metrics.counter("fuzz/cases").inc()
+            if violations:
+                self.metrics.counter("fuzz/violations").inc(len(violations))
+        if self.recorder.enabled:
+            # Case index is the fuzzer's deterministic clock.
+            self.recorder.span("fuzz/case", index, index + 1,
+                               case=case.case_id(),
+                               attack=case.attack,
+                               installer=case.installer,
+                               violations=len(violations))
+        if violations:
+            failed_oracles = sorted({v.oracle for v in violations})
+            result.shrunk = shrink_case(case, self._still_fails(failed_oracles))
+            if self.metrics is not None and result.shrunk != case:
+                self.metrics.counter("fuzz/shrunk").inc()
+            if self.corpus_dir is not None:
+                expect = "fail" if self.sabotage_defense else "pass"
+                note = (f"fuzz seed {self.fuzz_seed}, case {index}: "
+                        + "; ".join(str(v) for v in violations[:3]))
+                result.corpus_path = write_corpus_case(
+                    self.corpus_dir, failed_oracles[0], result.shrunk,
+                    note=note, expect=expect,
+                    sabotage=self.sabotage_defense,
+                    violation=str(violations[0]))
+        return result
+
+    def _still_fails(self, failed_oracles: Sequence[str]):
+        """Shrink predicate: does the *same* oracle still fire?"""
+        names = tuple(failed_oracles)
+
+        def predicate(candidate: FuzzCase) -> bool:
+            found = check_run(self._execute(candidate), self.oracles)
+            return any(v.oracle in names for v in found)
+
+        return predicate
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, budget: int) -> FuzzReport:
+        """Fuzz ``budget`` cases; returns the full session report."""
+        if budget < 1:
+            raise ReproError(f"fuzz budget must be >= 1, got {budget}")
+        report = FuzzReport(
+            fuzz_seed=self.fuzz_seed, budget=budget, oracles=self.oracles,
+            sabotage_defense=self.sabotage_defense or "")
+        for index in range(budget):
+            case = generate_case(self.fuzz_seed, index)
+            report.results.append(self.check_case(index, case))
+        return report

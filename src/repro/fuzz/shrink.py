@@ -1,0 +1,103 @@
+"""Greedy deterministic shrinking of failing fuzz cases.
+
+When an oracle fails, the raw case is usually noisy: six trials, three
+shards, chaos, a grab-bag of defenses.  :func:`shrink_case` walks a
+fixed candidate order — drop trials, collapse shards, strip chaos and
+defenses, simplify the APK and timing — re-running the failure
+predicate after each step and keeping only candidates that *still
+fail*.  The walk is greedy and restarts after every accepted
+simplification, so the result is a local minimum: no single listed
+simplification applied to it still reproduces the failure.
+
+Every candidate comes from :func:`repro.fuzz.gen.simplified`, which
+validates before returning — shrinking can never emit an invalid spec
+(pinned by the property suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.fuzz.gen import FuzzCase, simplified
+
+#: Upper bound on predicate evaluations per shrink, a safety net against
+#: a pathological predicate; the greedy walk converges far earlier.
+DEFAULT_MAX_STEPS = 200
+
+
+def shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Single-step simplifications of ``case``, most aggressive first.
+
+    Deterministic: the same case always yields the same candidates in
+    the same order.  Invalid combinations are silently skipped (see
+    :func:`repro.fuzz.gen.simplified`).
+    """
+    seen = {case}
+
+    def emit(candidate: Optional[FuzzCase]) -> Iterator[FuzzCase]:
+        if candidate is not None and candidate not in seen:
+            seen.add(candidate)
+            yield candidate
+
+    # Fewer trials first: halve, then straight to one.
+    if case.trials > 1:
+        yield from emit(simplified(case, trials=1))
+        if case.trials > 3:
+            yield from emit(simplified(case, trials=case.trials // 2))
+        yield from emit(simplified(case, trials=case.trials - 1))
+    # Collapse the fleet: chaos depends on shards, so drop it together.
+    if case.shards > 1:
+        yield from emit(simplified(case, shards=1, chaos=None))
+        yield from emit(simplified(case, shards=case.shards - 1, chaos=None))
+    if case.chaos is not None:
+        yield from emit(simplified(case, chaos=None))
+    # Strip defenses one at a time (keeps the failing one findable).
+    for index in range(len(case.defenses)):
+        fewer = case.defenses[:index] + case.defenses[index + 1:]
+        yield from emit(simplified(case, defenses=fewer))
+    # Simplify the workload shape.
+    if case.max_extra_permissions:
+        yield from emit(simplified(case, max_extra_permissions=0))
+    if case.poll_interval_ns is not None:
+        yield from emit(simplified(case, poll_interval_ns=None))
+    if case.base_size_bytes != 512:
+        yield from emit(simplified(case, base_size_bytes=512))
+    if case.device != "nexus5":
+        yield from emit(simplified(case, device="nexus5"))
+    if not case.rearm_between:
+        yield from emit(simplified(case, rearm_between=True))
+    # Last resort: remove the attack, then fall back to the reference
+    # installer.  These change behaviour wholesale, so they only
+    # survive when the failure has nothing to do with either.
+    if case.attack != "none":
+        yield from emit(simplified(case, attack="none",
+                                   poll_interval_ns=None))
+    if case.installer != "amazon":
+        yield from emit(simplified(case, installer="amazon"))
+
+
+def shrink_case(case: FuzzCase,
+                still_fails: Callable[[FuzzCase], bool],
+                max_steps: int = DEFAULT_MAX_STEPS) -> FuzzCase:
+    """Greedily minimize ``case`` while ``still_fails`` holds.
+
+    ``still_fails`` re-executes a candidate and reports whether the
+    original failure reproduces; it is never called on ``case`` itself
+    (the caller has already seen it fail).  Returns the smallest
+    still-failing case found within ``max_steps`` predicate calls —
+    ``case`` unchanged if no simplification reproduces the failure.
+    """
+    current = case
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in shrink_candidates(current):
+            if steps >= max_steps:
+                break
+            steps += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break  # restart the candidate walk from the smaller case
+    return current

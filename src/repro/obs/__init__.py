@@ -42,6 +42,7 @@ from repro.obs.analyze import (
     render_diff,
     render_profile,
     render_windows,
+    validate_records,
     window_forensics,
 )
 from repro.obs.baseline import (
@@ -116,6 +117,7 @@ __all__ = [
     "summary_percentile",
     "summary_percentiles",
     "trace_to_jsonl",
+    "validate_records",
     "window_forensics",
     "write_trace_jsonl",
 ]

@@ -563,3 +563,76 @@ def render_diff(diff: TraceDiff, max_detail: int = 20) -> str:
     if len(diff.changed) > max_detail:
         lines.append(f"  changed  ... {len(diff.changed) - max_detail} more")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Structural validation
+# ---------------------------------------------------------------------------
+
+
+def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """Structural sanity check of a record stream: the problems found.
+
+    A well-formed trace satisfies, per shard: event timestamps are
+    monotone in emission order, span intervals are valid (integer,
+    non-negative, end >= start), and same-layer spans nest rather than
+    partially overlap.  Returns one message per problem, in record
+    order (empty list = well-formed).  Shared by the fuzz well-formed
+    oracle and usable standalone on any exported trace.
+    """
+    problems: List[str] = []
+    per_shard_events: Dict[int, int] = {}
+    per_shard_spans: Dict[Tuple[int, str], List[Tuple[int, int, str]]] = {}
+    for position, record in enumerate(records):
+        shard = _shard_of(record)
+        kind = record.get("type")
+        name = str(record.get("name", ""))
+        if kind == EVENT:
+            t_ns = record.get("t_ns")
+            if not isinstance(t_ns, int) or t_ns < 0:
+                problems.append(
+                    f"record {position}: event {name!r} has invalid "
+                    f"t_ns {t_ns!r}")
+                continue
+            last = per_shard_events.get(shard)
+            if last is not None and t_ns < last:
+                problems.append(
+                    f"record {position}: event {name!r} at {t_ns} ns goes "
+                    f"backwards (shard {shard} was already at {last} ns)")
+            per_shard_events[shard] = max(per_shard_events.get(shard, 0), t_ns)
+        elif kind == SPAN:
+            start = record.get("start_ns")
+            end = record.get("end_ns")
+            if (not isinstance(start, int) or not isinstance(end, int)
+                    or start < 0 or end < start):
+                problems.append(
+                    f"record {position}: span {name!r} has invalid interval "
+                    f"[{start!r}, {end!r}]")
+                continue
+            per_shard_spans.setdefault((shard, layer_of(name)), []).append(
+                (start, end, name))
+    for (shard, layer), spans in sorted(per_shard_spans.items()):
+        message = _nesting_violation(spans)
+        if message is not None:
+            problems.append(f"shard {shard} layer {layer!r}: {message}")
+    return problems
+
+
+def _nesting_violation(spans: List[Tuple[int, int, str]]) -> Optional[str]:
+    """First partial overlap among ``spans``, or None if they all nest.
+
+    Sorted by (start, -end) so an enclosing span precedes its children;
+    a stack walk then catches any span that crosses its enclosing
+    span's boundary instead of nesting inside it.
+    """
+    ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack: List[Tuple[int, int, str]] = []
+    for start, end, name in ordered:
+        while stack and start >= stack[-1][1]:
+            stack.pop()
+        if stack and end > stack[-1][1]:
+            outer = stack[-1]
+            return (f"span {name!r} [{start}, {end}] partially overlaps "
+                    f"{outer[2]!r} [{outer[0]}, {outer[1]}]")
+        stack.append((start, end, name))
+    return None

@@ -8,6 +8,7 @@ a seed, as the benchmark harness requires.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import string
 from typing import List, Sequence, TypeVar
@@ -33,8 +34,6 @@ class DeterministicRandom:
         hash — Python's built-in ``hash()`` is salted per process and
         would break cross-run reproducibility.
         """
-        import hashlib
-
         digest = hashlib.sha256(
             f"{self.seed}:{label}".encode("utf-8")
         ).digest()

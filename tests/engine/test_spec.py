@@ -4,7 +4,14 @@ import pickle
 
 import pytest
 
-from repro.engine.spec import ATTACKS, DEVICES, CampaignSpec, ShardSpec
+from repro.engine.spec import (
+    ATTACKS,
+    DEVICES,
+    MIN_POLL_INTERVAL_NS,
+    CampaignSpec,
+    ShardSpec,
+    parse_chaos,
+)
 from repro.errors import ReproError
 
 
@@ -102,3 +109,62 @@ def test_registries_expose_expected_entries():
     assert ATTACKS["none"] is None
     assert {"fileobserver", "wait-and-see"} <= set(ATTACKS)
     assert "nexus5" in DEVICES
+
+# -- parse_chaos edge cases ----------------------------------------------------
+
+def test_parse_chaos_rejects_duplicate_index_naming_the_token():
+    with pytest.raises(ReproError, match=r"duplicate shard index '2'"):
+        parse_chaos("crash:0,2,2")
+
+
+def test_parse_chaos_rejects_negative_index_naming_the_token():
+    with pytest.raises(ReproError, match=r"shard index '-1' is negative"):
+        parse_chaos("hang:-1")
+
+
+def test_parse_chaos_rejects_trailing_comma():
+    with pytest.raises(ReproError, match=r"trailing or doubled comma"):
+        parse_chaos("error:0,")
+
+
+def test_parse_chaos_rejects_doubled_comma():
+    with pytest.raises(ReproError, match=r"trailing or doubled comma"):
+        parse_chaos("error:0,,1")
+
+
+def test_parse_chaos_rejects_non_integer_naming_the_token():
+    with pytest.raises(ReproError, match=r"'two' is not a shard index"):
+        parse_chaos("crash:two")
+
+
+def test_parse_chaos_rejects_out_of_range_index_against_shard_count():
+    with pytest.raises(ReproError,
+                       match=r"shard index 3 is out of range for 3 shard"):
+        parse_chaos("crash:0,3", shard_count=3)
+    # Without a shard count the same spec parses fine.
+    assert parse_chaos("crash:0,3") == ("crash", (0, 3))
+
+
+def test_parse_chaos_out_of_range_is_caught_at_shard_time():
+    spec = CampaignSpec(installs=4, chaos="crash:5")
+    with pytest.raises(ReproError, match=r"out of range for 2 shard"):
+        spec.shard(2)
+    assert len(spec.shard(6)) == 6  # index 5 exists here
+
+
+def test_parse_chaos_accepts_whitespace_around_indices():
+    assert parse_chaos("error: 0, 1") == ("error", (0, 1))
+
+
+def test_poll_interval_floor_rejects_livelock_intervals():
+    # Found by fuzzing: a 1 ns poll loop against the 60 s arm budget
+    # floods the kernel event cap.  The spec rejects it up front.
+    with pytest.raises(ReproError, match=r"poll_interval_ns must be >="):
+        CampaignSpec(installs=1, attack="wait-and-see",
+                     poll_interval_ns=1)
+    with pytest.raises(ReproError, match=r"poll_interval_ns must be >="):
+        CampaignSpec(installs=1, attack="wait-and-see",
+                     poll_interval_ns=MIN_POLL_INTERVAL_NS - 1)
+    spec = CampaignSpec(installs=1, attack="wait-and-see",
+                        poll_interval_ns=MIN_POLL_INTERVAL_NS)
+    assert spec.poll_interval_ns == MIN_POLL_INTERVAL_NS

@@ -1,0 +1,32 @@
+"""The tier-1 corpus replayer: every recorded regression must hold.
+
+Each JSON file under ``tests/fuzz/corpus/`` replays as its own test
+case.  ``expect: "pass"`` entries pin fixed bugs (no oracle may fire);
+``expect: "fail"`` entries pin oracle power (the named oracle must
+still fire on its sabotaged case).
+"""
+
+import pytest
+
+from repro.fuzz.corpus import default_corpus_dir, load_corpus, replay_entry
+
+ENTRIES = load_corpus(default_corpus_dir())
+
+
+def test_corpus_is_seeded():
+    # The fuzzing PR ships with an initial corpus; an empty directory
+    # means the package data went missing.
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[path.name for path, _ in ENTRIES])
+def test_corpus_entry_replays(path, entry):
+    ok, violations = replay_entry(entry)
+    if entry["expect"] == "pass":
+        assert ok, (
+            f"{path.name} regressed: " + "; ".join(map(str, violations)))
+    else:
+        assert ok, (
+            f"{path.name}: the {entry['oracle']} oracle no longer fires "
+            f"on its sabotaged case — the fuzzer has gone blind")

@@ -1,0 +1,147 @@
+"""Tests for the invariant oracles: each must fire on a seeded defect."""
+
+import copy
+
+import pytest
+
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracles import (
+    ORACLES,
+    FuzzRun,
+    check_run,
+    check_well_formed,
+    oracle_names,
+)
+from repro.fuzz.runner import execute_case
+
+
+def _run(case, **kwargs):
+    return execute_case(case, **kwargs)
+
+
+BENIGN = FuzzCase(seed=21, trials=2)
+ATTACKED = FuzzCase(seed=21, trials=2, attack="fileobserver",
+                    defenses=("fuse-dac",))
+
+
+def test_all_oracles_green_on_a_clean_run():
+    assert check_run(_run(ATTACKED)) == []
+    assert check_run(_run(BENIGN)) == []
+
+
+def test_oracle_names_match_registry_order():
+    assert oracle_names() == tuple(ORACLES)
+    assert set(oracle_names()) == {
+        "determinism", "soundness", "completeness", "conservation",
+        "well-formed"}
+
+
+def test_determinism_oracle_fires_on_a_perturbed_replay():
+    run = _run(ATTACKED)
+    run.replay = copy.deepcopy(run.replay)
+    record = run.replay.shards[0].trace[0]
+    key = "t_ns" if "t_ns" in record else "start_ns"
+    record[key] += 1
+    violations = check_run(run, ["determinism"])
+    assert violations and violations[0].oracle == "determinism"
+    assert "diverged" in violations[0].message
+
+
+def test_determinism_oracle_fires_on_diverged_stats():
+    run = _run(BENIGN)
+    run.replay = copy.deepcopy(run.replay)
+    run.replay.stats.runs += 1
+    assert any("stats" in v.message
+               for v in check_run(run, ["determinism"]))
+
+
+def test_soundness_oracle_fires_on_phantom_alarms():
+    run = _run(BENIGN)
+    run.report.stats.alarms += 1
+    violations = check_run(run, ["soundness"])
+    assert violations and "cry wolf" in violations[0].message
+
+
+def test_soundness_oracle_ignores_armed_attacks():
+    run = _run(FuzzCase(seed=3, trials=1, attack="fileobserver"))
+    assert run.report.stats.hijacks == 1  # undefended: the hijack lands
+    assert check_run(run, ["soundness"]) == []
+
+
+def test_soundness_covers_unarmed_attackers():
+    run = _run(FuzzCase(seed=3, trials=1, attack="fileobserver",
+                        arm_attacker=False))
+    assert check_run(run, ["soundness"]) == []
+    run.report.stats.hijacks += 1
+    assert check_run(run, ["soundness"])
+
+
+def test_completeness_oracle_fires_on_a_sabotaged_blocker():
+    run = _run(ATTACKED, sabotage_defense="fuse-dac")
+    violations = check_run(run, ["completeness"])
+    assert violations
+    assert any("hijack(s) landed" in v.message for v in violations)
+    assert any("unblocked" in v.message for v in violations)
+
+
+def test_completeness_oracle_fires_on_a_sabotaged_detector():
+    case = FuzzCase(seed=21, trials=2, attack="fileobserver",
+                    defenses=("dapp",))
+    assert check_run(_run(case), ["completeness"]) == []
+    run = _run(case, sabotage_defense="dapp")
+    violations = check_run(run, ["completeness"])
+    assert violations and "must be detected" in violations[0].message
+
+
+def test_conservation_oracle_fires_on_lost_runs():
+    run = _run(ATTACKED)
+    run.report.stats.runs += 1
+    messages = [v.message for v in check_run(run, ["conservation"])]
+    assert any("case asked for" in m for m in messages)
+
+
+def test_conservation_oracle_fires_on_broken_identity():
+    run = _run(ATTACKED)
+    run.report.stats.clean_installs += 1
+    messages = [v.message for v in check_run(run, ["conservation"])]
+    assert any("!= installed" in m for m in messages)
+
+
+def test_conservation_checks_merge_order_invariance():
+    run = _run(FuzzCase(seed=4, trials=6, shards=3, attack="fileobserver"))
+    assert len(run.report.shards) == 3
+    assert check_run(run, ["conservation"]) == []
+
+
+def test_well_formed_oracle_fires_on_backwards_events():
+    run = _run(ATTACKED)
+    events = [r for r in run.report.shards[0].trace if r["type"] == "event"]
+    assert len(events) >= 2 and events[-2]["t_ns"] > 0
+    events[-1]["t_ns"] = 0
+    violations = check_well_formed(run)
+    assert violations and "goes backwards" in violations[0].message
+
+
+def test_well_formed_oracle_fires_on_partial_overlap():
+    run = _run(BENIGN)
+    run.report.shards[0].trace.extend([
+        {"type": "span", "name": "ait/a", "start_ns": 0, "end_ns": 10},
+        {"type": "span", "name": "ait/b", "start_ns": 5, "end_ns": 15},
+    ])
+    violations = check_well_formed(run)
+    assert violations and "partially overlaps" in violations[0].message
+
+
+def test_well_formed_oracle_fires_on_inverted_span():
+    run = _run(BENIGN)
+    run.report.shards[0].trace.append(
+        {"type": "span", "name": "ait/x", "start_ns": 10, "end_ns": 3})
+    violations = check_well_formed(run)
+    assert violations and "invalid interval" in violations[0].message
+
+
+def test_check_run_rejects_nothing_and_runs_all_by_default():
+    run = _run(BENIGN)
+    assert check_run(run) == check_run(run, oracle_names())
+    with pytest.raises(KeyError):
+        check_run(run, ["nonsense"])

@@ -1,0 +1,101 @@
+"""Tests for the fuzz loop: execution, verdicts, corpus writes, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz.corpus import load_corpus, replay_entry
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.runner import Fuzzer, execute_case
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.__main__ import main
+
+
+def test_execute_case_runs_twice_for_the_determinism_oracle():
+    run = execute_case(FuzzCase(seed=5, trials=2))
+    assert run.report is not run.replay
+    assert run.report.stats.runs == run.replay.stats.runs == 2
+
+
+def test_execute_case_only_sabotages_enabled_defenses():
+    run = execute_case(FuzzCase(seed=5, trials=1), sabotage_defense="dapp")
+    assert run.sabotage_defense == ""  # dapp not enabled: knob is inert
+
+
+def test_execute_case_force_shards_overrides_the_plan():
+    case = FuzzCase(seed=5, trials=4, shards=3, chaos="crash:2")
+    run = execute_case(case, force_shards=2)
+    assert len(run.report.shards) == 2
+    assert run.case.chaos is None
+    # ... but never shards a one-shot attacker.
+    one_shot = FuzzCase(seed=5, trials=2, attack="fileobserver",
+                        rearm_between=False)
+    assert len(execute_case(one_shot, force_shards=3).report.shards) == 1
+
+
+def test_fuzzer_rejects_unknown_oracles_and_budget():
+    with pytest.raises(ReproError, match="unknown oracle"):
+        Fuzzer(7, oracles=("nonsense",))
+    with pytest.raises(ReproError, match="budget"):
+        Fuzzer(7).run(0)
+
+
+def test_clean_session_is_green_and_repeatable():
+    first = Fuzzer(7).run(8)
+    second = Fuzzer(7).run(8)
+    assert first.ok
+    assert first.render() == second.render()
+    assert [r.case for r in first.results] == [r.case for r in second.results]
+
+
+def test_session_emits_metrics_and_case_spans():
+    recorder, metrics = TraceRecorder(), MetricsRegistry()
+    Fuzzer(7, recorder=recorder, metrics=metrics).run(3)
+    spans = [r for r in recorder.records() if r["name"] == "fuzz/case"]
+    assert [s["start_ns"] for s in spans] == [0, 1, 2]
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["fuzz/cases"] == 3
+    assert snapshot["counters"]["fuzz/executions"] == 3
+
+
+def test_sabotage_session_fails_shrinks_and_writes_corpus(tmp_path):
+    report = Fuzzer(7, sabotage_defense="fuse-dac",
+                    corpus_dir=tmp_path).run(12)
+    assert not report.ok
+    failure = report.failures[0]
+    assert all(v.oracle == "completeness" for v in failure.violations)
+    assert failure.shrunk is not None
+    assert failure.shrunk.trials == 1
+    assert failure.shrunk.defenses == ("fuse-dac",)
+    assert failure.corpus_path is not None and failure.corpus_path.exists()
+    entry = json.loads(failure.corpus_path.read_text())
+    assert entry["expect"] == "fail"
+    assert entry["sabotage"] == "fuse-dac"
+    ok, violations = replay_entry(entry)
+    assert ok and violations  # the oracle still fires on replay
+    assert load_corpus(tmp_path)
+
+
+def test_cli_fuzz_green_run_exits_zero(capsys):
+    assert main(["fuzz", "--seed", "7", "--budget", "4",
+                 "--no-corpus"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 case(s) green" in out
+
+
+def test_cli_fuzz_broken_defense_exits_one(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "7", "--budget", "3",
+                 "--break-defense", "fuse-dac",
+                 "--corpus", str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "completeness" in out
+    assert "shrunk to:" in out
+    assert list(tmp_path.glob("completeness-*.json"))
+
+
+def test_cli_fuzz_oracle_subset_runs_only_those(capsys):
+    assert main(["fuzz", "--seed", "7", "--budget", "2", "--no-corpus",
+                 "--oracle", "soundness", "--oracle", "well-formed"]) == 0
+    assert "oracles=soundness,well-formed" in capsys.readouterr().out

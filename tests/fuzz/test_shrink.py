@@ -1,0 +1,87 @@
+"""Tests for greedy case shrinking."""
+
+from repro.fuzz.gen import FuzzCase, generate_case
+from repro.fuzz.shrink import shrink_candidates, shrink_case
+
+BIG = FuzzCase(seed=9, trials=6, installer="tencent", attack="fileobserver",
+               defenses=("dapp", "fuse-dac", "intent-origin"),
+               device="galaxy-s6", shards=3, base_size_bytes=7777,
+               max_extra_permissions=3, chaos="crash:1")
+
+
+def test_candidates_are_deterministic_and_valid():
+    first = list(shrink_candidates(BIG))
+    assert first == list(shrink_candidates(BIG))
+    assert first  # a big case always has somewhere to go
+    for candidate in first:
+        candidate.validate()
+        assert candidate != BIG
+
+
+def test_candidates_cover_every_shrink_axis():
+    candidates = list(shrink_candidates(BIG))
+    assert any(c.trials == 1 for c in candidates)
+    assert any(c.shards == 1 and c.chaos is None for c in candidates)
+    assert any(len(c.defenses) == 2 for c in candidates)
+    assert any(c.max_extra_permissions == 0 for c in candidates)
+    assert any(c.base_size_bytes == 512 for c in candidates)
+    assert any(c.device == "nexus5" for c in candidates)
+    assert any(c.attack == "none" for c in candidates)
+    assert any(c.installer == "amazon" for c in candidates)
+
+
+def test_minimal_case_yields_no_candidates():
+    minimal = FuzzCase(seed=1, trials=1, installer="amazon", attack="none",
+                       base_size_bytes=512)
+    assert list(shrink_candidates(minimal)) == []
+
+
+def test_shrink_converges_to_a_local_minimum():
+    # Failure depends only on the attack being fileobserver: the
+    # shrinker should strip everything else.
+    def still_fails(case):
+        return case.attack == "fileobserver"
+
+    small = shrink_case(BIG, still_fails)
+    assert small.attack == "fileobserver"
+    assert small.trials == 1
+    assert small.shards == 1
+    assert small.chaos is None
+    assert small.defenses == ()
+    assert small.max_extra_permissions == 0
+    assert small.base_size_bytes == 512
+    assert small.installer == "amazon"
+    assert small.device == "nexus5"
+    # Local minimum: no single candidate still fails.
+    assert not any(still_fails(c) for c in shrink_candidates(small))
+
+
+def test_shrink_keeps_the_original_when_nothing_reproduces():
+    assert shrink_case(BIG, lambda case: False) == BIG
+
+
+def test_shrink_respects_the_step_budget():
+    calls = []
+
+    def expensive(case):
+        calls.append(case)
+        return True
+
+    shrink_case(BIG, expensive, max_steps=3)
+    assert len(calls) == 3
+
+
+def test_shrink_preserves_defense_dependent_failures():
+    def still_fails(case):
+        return "fuse-dac" in case.defenses
+
+    small = shrink_case(BIG, still_fails)
+    assert small.defenses == ("fuse-dac",)
+    assert small.trials == 1
+
+
+def test_shrinking_generated_cases_never_invalidates():
+    for index in range(40):
+        case = generate_case(17, index)
+        for candidate in shrink_candidates(case):
+            candidate.validate()

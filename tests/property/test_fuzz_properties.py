@@ -1,0 +1,113 @@
+"""Property-based tests for the fuzz generator, serializer, and shrinker."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.gen import (
+    FUZZ_ATTACKS,
+    FUZZ_DEVICES,
+    FUZZ_INSTALLERS,
+    PERMISSION_POOL,
+    FuzzCase,
+    generate_case,
+)
+from repro.fuzz.shrink import shrink_candidates, shrink_case
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+indices = st.integers(min_value=0, max_value=500)
+
+# Arbitrary hand-rolled cases, *biased toward validity* but allowed to
+# land on invalid combinations — those must be filtered by validate(),
+# never crash it.
+hand_cases = st.builds(
+    FuzzCase,
+    seed=seeds,
+    trials=st.integers(min_value=1, max_value=8),
+    installer=st.sampled_from(FUZZ_INSTALLERS),
+    attack=st.sampled_from(FUZZ_ATTACKS),
+    defenses=st.lists(
+        st.sampled_from(["dapp", "fuse-dac", "intent-detection",
+                         "intent-origin"]),
+        unique=True, max_size=4).map(tuple),
+    device=st.sampled_from(FUZZ_DEVICES),
+    shards=st.integers(min_value=1, max_value=4),
+    base_size_bytes=st.integers(min_value=512, max_value=16384),
+    max_extra_permissions=st.integers(
+        min_value=0, max_value=len(PERMISSION_POOL)),
+    poll_interval_ns=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=10**9)),
+    arm_attacker=st.booleans(),
+    rearm_between=st.booleans(),
+    chaos=st.one_of(st.none(), st.sampled_from(
+        ["crash:0", "hang:0,1", "error:1"])),
+)
+
+
+def _valid(case):
+    try:
+        case.validate()
+    except Exception:
+        return False
+    return True
+
+
+@given(fuzz_seed=seeds, index=indices)
+@settings(max_examples=80, deadline=None)
+def test_generated_cases_always_validate(fuzz_seed, index):
+    case = generate_case(fuzz_seed, index)
+    case.validate()  # must never raise: valid by construction
+    assert case == generate_case(fuzz_seed, index)  # and pure
+
+
+@given(fuzz_seed=seeds, index=indices)
+@settings(max_examples=80, deadline=None)
+def test_serialized_replay_is_bit_identical(fuzz_seed, index):
+    case = generate_case(fuzz_seed, index)
+    text = case.to_json()
+    clone = FuzzCase.from_json(text)
+    assert clone == case
+    assert clone.to_json() == text
+    assert clone.case_id() == case.case_id()
+
+
+@given(case=hand_cases)
+@settings(max_examples=80, deadline=None)
+def test_hand_rolled_round_trips_preserve_equality(case):
+    clone = FuzzCase.from_json(case.to_json())
+    assert clone == case
+    assert _valid(clone) == _valid(case)
+
+
+@given(fuzz_seed=seeds, index=indices)
+@settings(max_examples=60, deadline=None)
+def test_shrink_candidates_of_generated_cases_are_valid(fuzz_seed, index):
+    case = generate_case(fuzz_seed, index)
+    for candidate in shrink_candidates(case):
+        candidate.validate()  # shrinking never emits an invalid spec
+
+
+@given(case=hand_cases)
+@settings(max_examples=60, deadline=None)
+def test_shrink_candidates_of_any_valid_case_are_valid(case):
+    if not _valid(case):
+        return
+    for candidate in shrink_candidates(case):
+        candidate.validate()
+
+
+@given(case=hand_cases, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_shrink_result_is_valid_under_arbitrary_predicates(case, data):
+    if not _valid(case):
+        return
+    # A random (but drawn-once) predicate: shrink must stay valid no
+    # matter which candidates it decides to accept.
+    verdicts = {}
+
+    def still_fails(candidate):
+        key = candidate.to_json()
+        if key not in verdicts:
+            verdicts[key] = data.draw(st.booleans())
+        return verdicts[key]
+
+    small = shrink_case(case, still_fails, max_steps=30)
+    small.validate()
