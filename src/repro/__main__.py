@@ -16,6 +16,12 @@ Commands
 - ``fuzz``     — seeded scenario fuzzing under invariant oracles
   (``--seed 7 --budget 200``); failures shrink into the regression
   corpus at ``tests/fuzz/corpus/``.
+- ``serve``    — run the resident campaign service (warm worker pool,
+  crash-safe job journal): ``repro serve --state-dir .repro-serve``.
+- ``submit``   — enqueue a campaign (or ``--case`` fuzz case) on a
+  running daemon; ``--wait`` streams progress until it finishes.
+- ``jobs``     — list the daemon's jobs and health counters.
+- ``watch``    — stream one job's shard-completion frames live.
 
 Every simulation command accepts ``--seed`` for reproducible runs; the
 ``trace`` family is a pure function of its input files, so its output
@@ -35,6 +41,10 @@ from repro.engine.spec import ATTACKS, DEVICES
 from repro.installers import all_installer_types, installer_by_name
 
 DEFAULT_SEED = 7
+
+#: Where ``serve``/``submit``/``jobs``/``watch`` keep daemon state
+#: unless pointed elsewhere.
+DEFAULT_STATE_DIR = ".repro-serve"
 
 
 def _seed_of(args: argparse.Namespace) -> int:
@@ -218,6 +228,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.metrics:
         engine_metrics = MetricsProgress()
         progress = TeeProgress(progress, engine_metrics)
+    checkpoint = None
+    if args.checkpoint:
+        from repro.errors import ReproError
+        from repro.serve.checkpoint import ShardJournal
+
+        if args.shards is None:
+            # The default shard count tracks the worker count, which
+            # varies by machine; a resumable run must pin its layout.
+            raise ReproError(
+                "--checkpoint needs an explicit --shards count so the "
+                "journal's shard layout is stable across resumes")
+        checkpoint = ShardJournal(args.checkpoint, spec, args.shards)
     report = run_fleet(
         spec,
         shards=args.shards,
@@ -226,6 +248,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         max_retries=args.retries,
         progress=progress,
+        checkpoint=checkpoint,
     )
     print(report.render())
     if args.trace:
@@ -263,6 +286,157 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _client_of(args: argparse.Namespace):
+    """A :class:`ServeClient` for the daemon the args point at."""
+    from pathlib import Path
+
+    from repro.serve import ServeClient
+
+    if getattr(args, "port", None):
+        return ServeClient(host="127.0.0.1", port=args.port)
+    socket_path = args.socket or str(Path(args.state_dir) / "serve.sock")
+    return ServeClient(socket_path=socket_path)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import run_daemon
+
+    if args.stop:
+        _client_of(args).shutdown()
+        print("serve: shutdown requested")
+        return 0
+
+    def on_ready(daemon) -> None:
+        where = daemon.socket_path or f"127.0.0.1:{daemon.port}"
+        print(f"serve: listening on {where} "
+              f"(state: {args.state_dir})", flush=True)
+
+    return run_daemon(
+        args.state_dir,
+        socket_path=args.socket,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        seed=_seed_of(args),
+        on_ready=on_ready,
+    )
+
+
+def _print_job_line(job: dict) -> None:
+    done, total = job.get("progress") or (0, 0)
+    progress = f"{done}/{total}" if total else "-"
+    label = f"  [{job['label']}]" if job.get("label") else ""
+    print(f"{job['job_id']}  {job['state']:<9} {job['kind']:<8} "
+          f"shards {progress}{label}")
+
+
+def _print_terminal(job: dict) -> None:
+    print(f"{job['job_id']}: {job['state']}")
+    if job.get("error"):
+        print(f"  error: {job['error']}")
+    summary = job.get("summary") or {}
+    for name in ("runs", "installs_completed", "hijacks", "blocked",
+                 "install_failures"):
+        if name in summary:
+            print(f"  {name:<19}: {summary[name]}")
+
+
+def _watch_frames(client, job_id: str) -> dict:
+    """Stream one job's frames to stdout; returns the terminal job."""
+
+    def on_frame(frame: dict) -> None:
+        event = frame.get("event")
+        if event == "shard":
+            stats = frame.get("stats") or {}
+            print(f"  shard {frame['shard']:>3} done "
+                  f"({frame['done']}/{frame['total']})  "
+                  f"runs={stats.get('runs', 0)} "
+                  f"hijacks={stats.get('hijacks', 0)}", flush=True)
+        elif event == "status":
+            _print_job_line(frame["job"])
+
+    frames = client.watch(job_id, on_frame=on_frame)
+    return frames[-1]["job"]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.engine.spec import CampaignSpec
+
+    client = _client_of(args)
+    if args.case:
+        from repro.fuzz.gen import FuzzCase
+
+        with open(args.case, "r", encoding="utf-8") as handle:
+            case = FuzzCase.from_json(handle.read())
+        job = client.submit_fuzz(case, priority=args.priority,
+                                 label=args.label)
+    else:
+        spec = CampaignSpec(
+            installs=args.installs,
+            installer=args.installer,
+            attack=args.attack,
+            defenses=tuple(args.defense),
+            device=args.device,
+            seed=_seed_of(args),
+            observe=not args.no_observe,
+            keep_outcomes=args.keep_outcomes,
+        )
+        job = client.submit_campaign(
+            spec, shards=args.shards, priority=args.priority,
+            label=args.label, derive_seed=args.derive_seed)
+    print(f"submitted {job['job_id']} ({job['state']}) "
+          f"seed={job['spec']['seed']}")
+    if not args.wait:
+        return 0
+    final = _watch_frames(client, job["job_id"])
+    _print_terminal(final)
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    listing = _client_of(args).jobs()
+    for job in listing["jobs"]:
+        _print_job_line(job)
+    health = listing["health"]
+    print(f"health: queue={health['queue_depth']} "
+          f"running={health['running'] or '-'} "
+          f"workers={health['workers']} backend={health['backend']} "
+          f"completed={health['jobs_completed']} "
+          f"failed={health['jobs_failed']} "
+          f"restarts={health['worker_restarts']} "
+          f"uptime={health['uptime_s']}s")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    final = _watch_frames(_client_of(args), args.job)
+    _print_terminal(final)
+    return 0 if final["state"] == "done" else 1
+
+
+def _resolve_trace_source(args: argparse.Namespace) -> str:
+    """The trace file a ``trace`` subcommand should read.
+
+    Either an explicit ``--trace PATH``, or ``--job ID`` which looks
+    the archived trace up in the serve state directory.
+    """
+    from repro.errors import ReproError
+
+    job_id = getattr(args, "job", None)
+    if job_id:
+        from repro.serve.checkpoint import JobStore
+
+        path = JobStore(args.state_dir).trace_path(job_id)
+        if not path.exists():
+            raise ReproError(
+                f"job {job_id} has no archived trace at {path} "
+                f"(not finished, or submitted with --no-observe?)")
+        return str(path)
+    if not args.trace:
+        raise ReproError("trace commands need --trace PATH or --job ID")
+    return args.trace
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import (
         critical_path,
@@ -277,16 +451,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         window_forensics,
     )
 
+    source = _resolve_trace_source(args)
     if args.trace_command == "summary":
         # Streams: per-name aggregates only, never the whole trace.
-        print(render_profile(profile_trace(iter_trace_jsonl(args.trace))))
+        print(render_profile(profile_trace(iter_trace_jsonl(source))))
     elif args.trace_command == "critpath":
-        path = critical_path(load_trace_jsonl(args.trace), shard=args.shard)
+        path = critical_path(load_trace_jsonl(source), shard=args.shard)
         print(render_critical_path(path))
     elif args.trace_command == "windows":
-        print(render_windows(window_forensics(iter_trace_jsonl(args.trace))))
+        print(render_windows(window_forensics(iter_trace_jsonl(source))))
     elif args.trace_command == "diff":
-        diff = diff_traces(load_trace_jsonl(args.trace),
+        diff = diff_traces(load_trace_jsonl(source),
                            load_trace_jsonl(args.against))
         print(render_diff(diff, max_detail=args.max_detail))
         return 0 if diff.empty else 1
@@ -358,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retain at most N per-run outcome records "
                             "per shard (default: all; counters always "
                             "cover every run)")
+    fleet.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="journal completed shards to DIR so a "
+                            "killed run resumes bit-identically "
+                            "(requires an explicit --shards)")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
 
@@ -390,12 +569,85 @@ def build_parser() -> argparse.ArgumentParser:
                       help="test-only: suppress one defense's reactions "
                            "to prove the oracles notice")
 
+    serve_common = argparse.ArgumentParser(add_help=False)
+    serve_common.add_argument("--state-dir", metavar="DIR",
+                              default=DEFAULT_STATE_DIR,
+                              help="daemon state directory "
+                                   f"(default: {DEFAULT_STATE_DIR})")
+    serve_common.add_argument("--socket", metavar="PATH", default=None,
+                              help="unix socket path (default: "
+                                   "<state-dir>/serve.sock)")
+    serve_common.add_argument("--port", type=int, default=None,
+                              help="listen/connect on local TCP instead "
+                                   "of the unix socket")
+
+    serve = sub.add_parser(
+        "serve", parents=[serve_common],
+        help="run the resident campaign service (warm worker pool)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="warm pool width (default: cores, max 4)")
+    serve.add_argument("--backend", default="auto",
+                       choices=["auto", "process", "serial"])
+    serve.add_argument("--seed", type=int, default=None,
+                       help="service seed for derived per-job seeds")
+    serve.add_argument("--stop", action="store_true",
+                       help="ask a running daemon to drain and stop")
+
+    submit = sub.add_parser(
+        "submit", parents=[serve_common],
+        help="enqueue a campaign (or fuzz case) on a running daemon")
+    submit.add_argument("--case", metavar="FILE", default=None,
+                        help="submit this FuzzCase JSON instead of "
+                             "a campaign")
+    submit.add_argument("--installs", type=int, default=1000)
+    submit.add_argument("--installer", default="amazon",
+                        choices=sorted(all_installer_types()))
+    submit.add_argument("--attack", default="none", choices=sorted(ATTACKS))
+    submit.add_argument("--defense", action="append", default=[],
+                        choices=["dapp", "fuse-dac", "intent-detection",
+                                 "intent-origin"])
+    submit.add_argument("--device", default="nexus5",
+                        choices=sorted(DEVICES))
+    submit.add_argument("--shards", type=int, default=None,
+                        help="shard count (default: pool width)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="campaign seed (default: 7)")
+    submit.add_argument("--derive-seed", action="store_true",
+                        help="let the service assign a deterministic "
+                             "per-job seed instead of --seed")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (FIFO within a level)")
+    submit.add_argument("--label", default="",
+                        help="free-form tag shown in job listings")
+    submit.add_argument("--no-observe", action="store_true",
+                        help="skip trace archiving for this job")
+    submit.add_argument("--keep-outcomes", type=int, default=None,
+                        metavar="N",
+                        help="retain at most N outcome records per shard")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream progress until the job finishes")
+
+    sub.add_parser("jobs", parents=[serve_common],
+                   help="list the daemon's jobs and health")
+
+    watch = sub.add_parser(
+        "watch", parents=[serve_common],
+        help="stream one job's shard frames until it finishes")
+    watch.add_argument("job", help="job id to watch")
+
     trace = sub.add_parser(
         "trace", help="forensics over a recorded JSONL trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_common = argparse.ArgumentParser(add_help=False)
-    trace_common.add_argument("--trace", metavar="PATH", required=True,
+    trace_common.add_argument("--trace", metavar="PATH", default=None,
                               help="JSONL trace file to analyze")
+    trace_common.add_argument("--job", metavar="ID", default=None,
+                              help="analyze the archived trace of this "
+                                   "serve job instead of a file")
+    trace_common.add_argument("--state-dir", metavar="DIR",
+                              default=DEFAULT_STATE_DIR,
+                              help="serve state directory for --job "
+                                   f"(default: {DEFAULT_STATE_DIR})")
     trace_sub.add_parser(
         "summary", parents=[trace_common],
         help="per-name/per-layer latency profile with percentiles")
@@ -435,6 +687,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "trace":
             return _cmd_trace(args)
     except ReproError as error:

@@ -14,7 +14,9 @@ merged stats for any shard count and worker count.
 
 from repro.engine.executor import (
     FleetExecutor,
+    WarmPool,
     default_workers,
+    drain_queue,
     multiprocessing_usable,
     run_fleet,
     run_shard,
@@ -59,8 +61,10 @@ __all__ = [
     "ShardResult",
     "ShardSpec",
     "TeeProgress",
+    "WarmPool",
     "compact_stats",
     "default_workers",
+    "drain_queue",
     "merge_stats",
     "multiprocessing_usable",
     "parse_chaos",

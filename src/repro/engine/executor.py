@@ -9,9 +9,22 @@ retried a bounded number of times, then degraded to the in-process
 serial backend, which is also the fleet-wide fallback when
 ``multiprocessing`` itself is unavailable (restricted sandboxes).
 
+Two pool flavours share that scheduler shape:
+
+- the **cold pool** (default) forks one process per shard attempt and
+  lets it exit — simple, and the right call for one-shot CLI runs;
+- the **warm pool** (``FleetExecutor(warm=True)``, used by the
+  ``repro serve`` daemon) keeps a fixed set of resident workers alive
+  across campaigns, so fork/import/artifact-cache warm-up is paid once
+  per worker instead of once per shard.  Crashed or timed-out warm
+  workers are restarted in place and the shard is retried exactly like
+  the cold pool's semantics.
+
 Results merge in shard-index order regardless of completion order, so
 the merged stats honour the determinism contract of
-:mod:`repro.engine.spec` for any worker count.
+:mod:`repro.engine.spec` for any worker count — and, with a
+checkpoint journal attached, for any resume point: restored shard
+results are byte-for-byte the ones the interrupted run recorded.
 """
 
 from __future__ import annotations
@@ -20,7 +33,7 @@ import os
 import queue as queue_module
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.campaign import Campaign, CampaignStats
 from repro.engine.merge import FleetReport, ShardResult
@@ -32,6 +45,10 @@ from repro.obs.trace import TraceRecorder
 
 _OK = "ok"
 _ERROR = "error"
+_CRASH = "crash"
+_TIMEOUT = "timeout"
+#: Maps a failure status to its executor fault counter.
+_FAULT_KINDS = {_ERROR: "errors", _CRASH: "crashes", _TIMEOUT: "timeouts"}
 #: Ceiling on one blocking wait in the pool loop.  The loop does not
 #: poll at this cadence — results and worker deaths interrupt the wait
 #: immediately (see :func:`wait_for_result`); the ceiling only bounds
@@ -145,6 +162,30 @@ def wait_for_result(result_queue, processes=(),
     return reader in ready
 
 
+def drain_queue(result_queue, handle: Callable[[object], None],
+                timeout: float = _IDLE_WAIT_SECONDS) -> int:
+    """Feed every queued message to ``handle``; return how many.
+
+    The scheduler's drain step, shared by the cold pool, the warm pool
+    and the serve daemon's scheduler: block up to ``timeout`` for the
+    first message, then sweep whatever else is already queued without
+    blocking again.  Pairs with :func:`wait_for_result` — wait on the
+    pipe and the worker sentinels, then drain — so a burst of shard
+    completions is handled in one pass while a worker death never
+    leaves the caller stuck in a blocking ``get``.
+    """
+    handled = 0
+    block = timeout
+    while True:
+        try:
+            message = result_queue.get(timeout=block)
+        except queue_module.Empty:
+            return handled
+        handle(message)
+        handled += 1
+        block = 0.0
+
+
 def multiprocessing_usable() -> bool:
     """Can this environment create process pools at all?
 
@@ -163,12 +204,264 @@ def multiprocessing_usable() -> bool:
         return False
 
 
+def _warm_worker_entry(slot: int, task_queue, result_queue) -> None:
+    """Resident worker loop: run shards until a ``None`` sentinel.
+
+    Mirrors :func:`_shard_entry` (including chaos injection — only
+    pool workers honour it, so the serial fallback always recovers)
+    but stays alive between tasks: module imports and the
+    content-addressed artifact caches built by earlier shards carry
+    over to later ones, which is the whole point of the warm pool.
+    Messages are ``(slot, ticket, status, payload)``.
+
+    A worker orphaned by a hard-killed parent (SIGKILL skips
+    :meth:`WarmPool.close`) notices the reparenting on its next idle
+    tick and exits instead of blocking on the task queue forever.
+    """
+    parent = os.getppid()
+    while True:
+        try:
+            task = task_queue.get(timeout=5.0)
+        except queue_module.Empty:
+            if os.getppid() != parent:
+                os._exit(0)  # orphaned: the parent is gone
+            continue
+        if task is None:
+            break
+        ticket, shard = task
+        try:
+            if shard.index in _chaos_indices(shard.campaign, "crash"):
+                os._exit(13)
+            if shard.index in _chaos_indices(shard.campaign, "hang"):
+                time.sleep(3600)
+            if shard.index in _chaos_indices(shard.campaign, "error"):
+                raise RuntimeError(f"injected error in shard {shard.index}")
+            result = run_shard(shard)
+            result.backend = "warm"
+            result_queue.put((slot, ticket, _OK, result))
+        except BaseException as exc:  # pragma: no cover - failure-mode paths
+            try:
+                result_queue.put(
+                    (slot, ticket, _ERROR, f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                os._exit(14)
+
+
+class _WarmWorker:
+    """Parent-side handle on one resident worker process."""
+
+    __slots__ = ("slot", "process", "task_queue", "tasks_done")
+
+    def __init__(self, slot: int, process, task_queue) -> None:
+        self.slot = slot
+        self.process = process
+        self.task_queue = task_queue
+        self.tasks_done = 0
+
+
+class WarmPool:
+    """A fixed set of resident shard workers, reused across campaigns.
+
+    Workers are forked once and then fed ``(ticket, shard)`` tasks over
+    per-worker queues; results come back on one shared queue.  A dead
+    worker (crash chaos, OOM, kill) is detected via its process
+    sentinel, restarted in place, and its in-flight ticket is reported
+    as a crash so the scheduler can retry the shard — ``restarts``
+    counts every such replacement (the serve daemon exports it as the
+    ``serve/worker_restarts`` metric).  ``close`` shuts the pool down
+    deterministically: sentinel every worker, join, terminate
+    stragglers — no leaked processes, pinned by the leak-check test.
+    """
+
+    def __init__(self, workers: int, context=None) -> None:
+        if workers < 1:
+            raise ReproError(f"warm pool needs workers >= 1, got {workers}")
+        if context is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context()
+        self._context = context
+        self.workers = workers
+        self.result_queue = context.Queue()
+        self.restarts = 0
+        self.tasks_done = 0
+        self._closed = False
+        self._workers: Dict[int, _WarmWorker] = {}
+        self._idle: List[int] = []
+        self._running: Dict[int, Tuple[int, float, ShardSpec]] = {}
+        for slot in range(workers):
+            self._spawn(slot)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spawn(self, slot: int) -> None:
+        """(Re)create the worker in ``slot`` with a fresh task queue.
+
+        A fresh queue per incarnation, so a task the dead worker popped
+        but never finished cannot resurface in its replacement.
+        """
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_warm_worker_entry,
+            args=(slot, task_queue, self.result_queue),
+            name=f"fleet-warm-{slot}",
+            daemon=True,
+        )
+        process.start()
+        self._workers[slot] = _WarmWorker(slot, process, task_queue)
+        self._idle.append(slot)
+
+    def _respawn(self, slot: int) -> None:
+        if slot in self._idle:
+            self._idle.remove(slot)
+        self.restarts += 1
+        self._spawn(slot)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down; idempotent, never leaks a process."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.task_queue.put(None)
+            except Exception:  # queue already broken: terminate below
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in self._workers.values():
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join()
+            worker.task_queue.close()
+        self.result_queue.close()
+        self._workers.clear()
+        self._idle.clear()
+        self._running.clear()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    def has_idle(self) -> bool:
+        """Is at least one worker free to take a task?"""
+        return bool(self._idle)
+
+    def busy(self) -> bool:
+        """Is at least one task in flight?"""
+        return bool(self._running)
+
+    def worker_pids(self) -> Dict[int, int]:
+        """Slot -> current worker PID (warm reuse is PID stability)."""
+        return {slot: worker.process.pid
+                for slot, worker in self._workers.items()}
+
+    def earliest_start(self) -> Optional[float]:
+        """Monotonic start of the oldest in-flight task, if any."""
+        if not self._running:
+            return None
+        return min(started for _, started, _ in self._running.values())
+
+    # -- scheduling ------------------------------------------------------------
+
+    def submit(self, ticket: int, shard: ShardSpec) -> None:
+        """Hand ``shard`` to an idle worker under key ``ticket``."""
+        if self._closed:
+            raise ReproError("warm pool is closed")
+        if not self._idle:
+            raise ReproError("no idle warm worker; poll() first")
+        slot = self._idle.pop()
+        self._workers[slot].task_queue.put((ticket, shard))
+        self._running[ticket] = (slot, time.monotonic(), shard)
+
+    def poll(self, timeout: float = _IDLE_WAIT_SECONDS
+             ) -> List[Tuple[int, str, object]]:
+        """Collect finished/failed tickets, restarting dead workers.
+
+        Blocks up to ``timeout`` on the result pipe plus every worker's
+        death sentinel (:func:`wait_for_result`), drains whatever
+        landed (:func:`drain_queue`), then sweeps for dead workers: an
+        in-flight ticket whose worker died without reporting comes back
+        as a ``crash`` event and the slot is respawned.  Returns
+        ``(ticket, status, payload)`` tuples where status is ``ok``
+        (payload: :class:`ShardResult`), ``error`` or ``crash``
+        (payload: reason string).
+        """
+        events: List[Tuple[int, str, object]] = []
+
+        def handle(message) -> None:
+            slot, ticket, status, payload = message
+            entry = self._running.pop(ticket, None)
+            if entry is None:
+                return  # stale: ticket already reaped as timeout/crash
+            self._idle.append(slot)
+            worker = self._workers.get(slot)
+            if worker is not None:
+                worker.tasks_done += 1
+            self.tasks_done += 1
+            events.append((ticket, status, payload))
+
+        processes = [w.process for w in self._workers.values()]
+        if wait_for_result(self.result_queue, processes, timeout):
+            drain_queue(self.result_queue, handle, timeout=_IDLE_WAIT_SECONDS)
+        for slot, worker in list(self._workers.items()):
+            if worker.process.is_alive():
+                continue
+            # Its result may still be in flight: one final drain chance
+            # before declaring the ticket crashed (mirrors _reap).
+            drain_queue(self.result_queue, handle, timeout=0.1)
+            dead = [ticket for ticket, (s, _, _) in self._running.items()
+                    if s == slot]
+            exitcode = worker.process.exitcode
+            worker.process.join()
+            self._respawn(slot)
+            for ticket in dead:
+                self._running.pop(ticket)
+                events.append(
+                    (ticket, _CRASH,
+                     f"warm worker died (exit code {exitcode})"))
+        return events
+
+    def reap_timeouts(self, shard_timeout: Optional[float]
+                      ) -> List[Tuple[int, str, object]]:
+        """Terminate workers whose task overran ``shard_timeout``.
+
+        Each overrun worker is restarted and its ticket reported as a
+        ``timeout`` event; None disables policing.
+        """
+        if shard_timeout is None:
+            return []
+        events: List[Tuple[int, str, object]] = []
+        now = time.monotonic()
+        for ticket, (slot, started, _) in list(self._running.items()):
+            if now - started <= shard_timeout:
+                continue
+            worker = self._workers[slot]
+            worker.process.terminate()
+            worker.process.join()
+            self._running.pop(ticket)
+            self._respawn(slot)
+            events.append((ticket, _TIMEOUT,
+                           f"timeout after {shard_timeout:.1f}s"))
+        return events
+
+
 class FleetExecutor:
     """Shard a campaign spec, execute the shards, merge the results."""
 
     def __init__(self, workers: Optional[int] = None, backend: str = "auto",
                  shard_timeout: Optional[float] = None, max_retries: int = 2,
-                 progress: Optional[FleetProgress] = None) -> None:
+                 progress: Optional[FleetProgress] = None,
+                 warm: bool = False) -> None:
         if backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {backend!r}; valid: {BACKENDS}")
@@ -181,27 +474,82 @@ class FleetExecutor:
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.progress = progress if progress is not None else NullProgress()
+        #: Keep a resident :class:`WarmPool` alive across ``run`` calls
+        #: (the serve daemon's mode).  The pool is created lazily on the
+        #: first pooled run and must be released with :meth:`close`.
+        self.warm = warm
+        self._pool: Optional[WarmPool] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the warm pool (if any); idempotent, leak-free.
+
+        Cold pools clean up per run, so this only matters for
+        ``warm=True`` executors — but call it (or use the executor as a
+        context manager) unconditionally: it makes shutdown
+        deterministic for tests and the daemon alike.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> WarmPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WarmPool(self.workers)
+        return self._pool
 
     # -- public API -----------------------------------------------------------
 
-    def run(self, spec: CampaignSpec,
-            shards: Optional[int] = None) -> FleetReport:
-        """Run ``spec`` across the pool and return the merged report."""
+    def run(self, spec: CampaignSpec, shards: Optional[int] = None,
+            checkpoint=None) -> FleetReport:
+        """Run ``spec`` across the pool and return the merged report.
+
+        ``checkpoint`` is an optional shard-completion journal (duck
+        typed; see :class:`repro.serve.checkpoint.ShardJournal`): shards
+        it has already recorded are restored instead of re-run, and
+        every fresh completion is recorded before the fleet moves on —
+        so a killed campaign resumes from its last completed shard and
+        still merges to bit-identical stats.
+        """
         started = time.perf_counter()
         shard_count = shards if shards is not None else self.workers
         shard_specs = spec.shard(shard_count)
+        restored: Dict[int, ShardResult] = {}
+        if checkpoint is not None:
+            restored = checkpoint.restore(spec, len(shard_specs))
+        todo = [shard for shard in shard_specs
+                if shard.index not in restored]
         backend = self._resolve_backend()
         workers = 1 if backend == "serial" else min(self.workers,
-                                                    len(shard_specs) or 1)
-        self.progress.on_fleet_start(spec, len(shard_specs), workers, backend)
+                                                    len(todo) or 1)
+        if self.warm and backend == "process":
+            # The resident pool keeps its full complement: idle workers
+            # stay warm for the next campaign instead of being resized.
+            workers = self.workers
+        total = len(shard_specs)
+        self.progress.on_fleet_start(spec, total, workers, backend)
         counters = {"retries": 0, "timeouts": 0, "crashes": 0,
-                    "errors": 0, "fallbacks": 0}
+                    "errors": 0, "fallbacks": 0, "restored": len(restored)}
+        results: Dict[int, ShardResult] = {}
+        for index in sorted(restored):
+            results[index] = restored[index]
+            self.progress.on_shard_done(restored[index], len(results), total)
+        on_result = None if checkpoint is None else checkpoint.record
         if backend == "serial":
-            results = self._run_serial(shard_specs)
+            self._run_serial(todo, results, total, on_result)
+        elif self.warm:
+            self._run_warm(todo, results, total, counters, on_result)
         else:
-            results = self._run_pool(shard_specs, workers, counters)
+            self._run_pool(todo, results, total, counters, on_result)
         report = FleetReport.from_shards(
-            spec, results,
+            spec, list(results.values()),
             wall_seconds=time.perf_counter() - started,
             workers=workers, backend=backend,
             counters=counters,
@@ -220,22 +568,51 @@ class FleetExecutor:
             return "serial"
         return "process"
 
+    # -- shared completion plumbing -------------------------------------------
+
+    def _finish(self, result: ShardResult, results: Dict[int, ShardResult],
+                total: int, on_result) -> None:
+        """Record one completed shard: merge set, checkpoint, progress.
+
+        The checkpoint write comes *before* the progress hook: once a
+        shard has been announced as done, it must already be durable,
+        or a kill landing right after the announcement would resume
+        with fewer shards than an observer was told had finished.
+        """
+        results[result.shard_index] = result
+        if on_result is not None:
+            on_result(result)
+        self.progress.on_shard_done(result, len(results), total)
+
+    def _run_fallback(self, fallback: List[ShardSpec],
+                      attempts: Dict[int, int],
+                      results: Dict[int, ShardResult], total: int,
+                      counters: Dict[str, int], on_result) -> None:
+        """In-process serial rescue of shards the pool gave up on."""
+        for shard in fallback:
+            counters["fallbacks"] += 1
+            attempts[shard.index] += 1
+            self.progress.on_shard_start(shard, attempts[shard.index])
+            result = run_shard(shard)
+            result.attempts = attempts[shard.index]
+            result.backend = "serial-fallback"
+            self._finish(result, results, total, on_result)
+
     # -- serial backend -------------------------------------------------------
 
-    def _run_serial(self, shard_specs: List[ShardSpec]) -> List[ShardResult]:
-        results = []
+    def _run_serial(self, shard_specs: List[ShardSpec],
+                    results: Dict[int, ShardResult], total: int,
+                    on_result=None) -> None:
         for shard in shard_specs:
             self.progress.on_shard_start(shard, 1)
             result = run_shard(shard)
-            results.append(result)
-            self.progress.on_shard_done(result, len(results),
-                                        len(shard_specs))
-        return results
+            self._finish(result, results, total, on_result)
 
-    # -- process backend ------------------------------------------------------
+    # -- process backend (cold pool) ------------------------------------------
 
-    def _run_pool(self, shard_specs: List[ShardSpec], workers: int,
-                  counters: Dict[str, int]) -> List[ShardResult]:
+    def _run_pool(self, shard_specs: List[ShardSpec],
+                  results: Dict[int, ShardResult], total: int,
+                  counters: Dict[str, int], on_result=None) -> None:
         import multiprocessing
 
         context = multiprocessing.get_context()
@@ -243,9 +620,8 @@ class FleetExecutor:
         pending: Deque[ShardSpec] = deque(shard_specs)
         running: Dict[int, Tuple[object, float, ShardSpec]] = {}
         attempts: Dict[int, int] = {shard.index: 0 for shard in shard_specs}
-        results: Dict[int, ShardResult] = {}
         fallback: List[ShardSpec] = []
-        total = len(shard_specs)
+        workers = min(self.workers, len(shard_specs) or 1)
 
         def handle(message: Tuple[int, str, object]) -> None:
             index, status, payload = message
@@ -256,24 +632,14 @@ class FleetExecutor:
                 entry[0].join()
             if status == _OK:
                 payload.attempts = attempts[index]
-                results[index] = payload
-                self.progress.on_shard_done(payload, len(results), total)
+                self._finish(payload, results, total, on_result)
             else:
                 self._retry(pending, fallback, attempts,
                             self._shard_by_index(shard_specs, index),
                             str(payload), counters, "errors")
 
         def drain(timeout: float) -> int:
-            handled = 0
-            block = timeout
-            while True:
-                try:
-                    message = result_queue.get(timeout=block)
-                except queue_module.Empty:
-                    return handled
-                handle(message)
-                handled += 1
-                block = 0.0
+            return drain_queue(result_queue, handle, timeout)
 
         try:
             while pending or running:
@@ -303,16 +669,51 @@ class FleetExecutor:
                 process.join()
             result_queue.close()
 
-        for shard in fallback:
-            counters["fallbacks"] += 1
-            attempts[shard.index] += 1
-            self.progress.on_shard_start(shard, attempts[shard.index])
-            result = run_shard(shard)
-            result.attempts = attempts[shard.index]
-            result.backend = "serial-fallback"
-            results[shard.index] = result
-            self.progress.on_shard_done(result, len(results), total)
-        return list(results.values())
+        self._run_fallback(fallback, attempts, results, total, counters,
+                           on_result)
+
+    # -- process backend (warm pool) ------------------------------------------
+
+    def _run_warm(self, shard_specs: List[ShardSpec],
+                  results: Dict[int, ShardResult], total: int,
+                  counters: Dict[str, int], on_result=None) -> None:
+        """Schedule shards onto the resident pool (created on first use).
+
+        Same retry/timeout/fallback semantics as the cold pool, but
+        worker processes survive the run — and the next one.
+        """
+        pool = self._ensure_pool()
+        pending: Deque[ShardSpec] = deque(shard_specs)
+        attempts: Dict[int, int] = {shard.index: 0 for shard in shard_specs}
+        by_index: Dict[int, ShardSpec] = {shard.index: shard
+                                          for shard in shard_specs}
+        fallback: List[ShardSpec] = []
+        while pending or pool.busy():
+            while pending and pool.has_idle():
+                shard = pending.popleft()
+                attempts[shard.index] += 1
+                self.progress.on_shard_start(shard, attempts[shard.index])
+                pool.submit(shard.index, shard)
+            events = pool.poll(self._warm_wait_timeout(pool))
+            events += pool.reap_timeouts(self.shard_timeout)
+            for ticket, status, payload in events:
+                if status == _OK:
+                    payload.attempts = attempts[ticket]
+                    self._finish(payload, results, total, on_result)
+                else:
+                    self._retry(pending, fallback, attempts,
+                                by_index[ticket], str(payload), counters,
+                                _FAULT_KINDS[status])
+        self._run_fallback(fallback, attempts, results, total, counters,
+                           on_result)
+
+    def _warm_wait_timeout(self, pool: WarmPool) -> float:
+        """Warm-pool analogue of :meth:`_wait_timeout`."""
+        soonest = pool.earliest_start()
+        if self.shard_timeout is None or soonest is None:
+            return _IDLE_WAIT_SECONDS
+        remaining = soonest + self.shard_timeout - time.monotonic()
+        return max(0.0, min(_IDLE_WAIT_SECONDS, remaining))
 
     def _wait_timeout(self, running) -> float:
         """How long one blocking wait may last before ``_reap`` runs.
@@ -375,13 +776,14 @@ class FleetExecutor:
 def run_fleet(spec: CampaignSpec, shards: Optional[int] = None,
               workers: Optional[int] = None, backend: str = "auto",
               shard_timeout: Optional[float] = None, max_retries: int = 2,
-              progress: Optional[FleetProgress] = None) -> FleetReport:
+              progress: Optional[FleetProgress] = None,
+              checkpoint=None) -> FleetReport:
     """One-call fleet execution (the ``python -m repro fleet`` engine)."""
-    executor = FleetExecutor(
+    with FleetExecutor(
         workers=workers,
         backend=backend,
         shard_timeout=shard_timeout,
         max_retries=max_retries,
         progress=progress,
-    )
-    return executor.run(spec, shards=shards)
+    ) as executor:
+        return executor.run(spec, shards=shards, checkpoint=checkpoint)

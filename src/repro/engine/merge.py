@@ -209,7 +209,12 @@ class FleetReport:
             f"  shard time : min {tmin:.2f}s / mean {tmean:.2f}s / "
             f"max {tmax:.2f}s" + (f"  ({retried} retried)" if retried else ""),
         ]
-        if any(self.counters.values()):
+        if self.counters.get("restored"):
+            lines.append(
+                f"  resumed    : {self.counters['restored']} shard(s) "
+                "restored from checkpoint")
+        if any(value for key, value in self.counters.items()
+               if key != "restored"):
             counts = self.counters
             lines.append(
                 "  faults     : "

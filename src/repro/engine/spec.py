@@ -19,8 +19,9 @@ bit-identical for any shard count and worker count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Type
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.android.device import (
     DeviceProfile,
@@ -204,6 +205,55 @@ class CampaignSpec:
             raise ReproError(
                 f"sabotage_defense {self.sabotage_defense!r} is not one of "
                 f"the enabled defenses {self.defenses}")
+
+    # -- serialization (the serve protocol's wire form) ------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-clean dict form: tuples become lists, field order fixed.
+
+        The inverse of :meth:`from_json_dict`; the round trip is exact
+        (the reconstructed spec compares equal), which the serve
+        protocol and the checkpoint journal both rely on.
+        """
+        data = asdict(self)
+        data["defenses"] = list(self.defenses)
+        data["permission_pool"] = list(self.permission_pool)
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild (and re-validate) a spec from its dict form.
+
+        Unknown fields are rejected — a client speaking a newer
+        protocol should fail loudly, not lose options silently.
+        Missing fields fall back to the dataclass defaults so minimal
+        submissions stay minimal.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"campaign spec must be a JSON object, "
+                f"got {type(data).__name__}")
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"campaign spec has unknown field(s): {sorted(unknown)}")
+        if "installs" not in data:
+            raise ReproError("campaign spec is missing 'installs'")
+        fields = dict(data)
+        for name in ("defenses", "permission_pool"):
+            if name in fields:
+                fields[name] = tuple(fields[name])
+        return cls(**fields)
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — byte-stable.
+
+        Equal specs serialize to identical bytes, so this string keys
+        the checkpoint journal's content addressing.
+        """
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
     # -- workload derivation (global, shard-independent) ----------------------
 

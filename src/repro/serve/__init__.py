@@ -1,0 +1,49 @@
+"""Long-running campaign service over the fleet engine.
+
+``repro serve`` turns the one-shot :mod:`repro.engine` fleet into a
+resident daemon: a warm worker pool that survives across jobs, a
+deterministic priority job queue, per-shard crash checkpoints that
+make kill/resume bit-identical, and a versioned JSONL protocol the
+``repro submit``/``jobs``/``watch`` verbs speak over a local socket.
+
+- :mod:`repro.serve.protocol` — versioned JSONL wire protocol.
+- :mod:`repro.serve.queue` — deterministic priority FIFO + per-job seeds.
+- :mod:`repro.serve.checkpoint` — shard journal + daemon state store.
+- :mod:`repro.serve.daemon` — the service core and asyncio server.
+- :mod:`repro.serve.client` — blocking client for the CLI verbs.
+"""
+
+from repro.serve.checkpoint import JobStore, ShardJournal, job_key
+from repro.serve.client import ServeClient
+from repro.serve.daemon import CampaignService, ServeDaemon, run_daemon
+from repro.serve.protocol import (
+    JOB_STATES,
+    OPS,
+    PROTOCOL_VERSION,
+    Submission,
+    decode_message,
+    decode_request,
+    encode_message,
+    parse_submission,
+)
+from repro.serve.queue import Job, JobQueue
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "JobStore",
+    "JOB_STATES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeDaemon",
+    "ShardJournal",
+    "Submission",
+    "decode_message",
+    "decode_request",
+    "encode_message",
+    "job_key",
+    "parse_submission",
+    "run_daemon",
+]

@@ -1,0 +1,115 @@
+"""Job queue: deterministic ordering, seeds, cancellation, recovery."""
+
+import pytest
+
+from repro.engine.spec import CampaignSpec
+from repro.errors import ReproError
+from repro.serve.queue import Job, JobQueue
+
+
+def _spec(installs=10, seed=1):
+    return CampaignSpec(installs=installs, seed=seed)
+
+
+def test_fifo_within_a_priority_level():
+    queue = JobQueue()
+    first = queue.submit(_spec(seed=1))
+    second = queue.submit(_spec(seed=2))
+    assert queue.pop() is first
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
+def test_higher_priority_jumps_the_line():
+    queue = JobQueue()
+    routine = queue.submit(_spec(seed=1), priority=0)
+    urgent = queue.submit(_spec(seed=2), priority=5)
+    assert queue.pop() is urgent
+    assert queue.pop() is routine
+
+
+def test_job_ids_and_states_follow_the_lifecycle():
+    queue = JobQueue()
+    job = queue.submit(_spec())
+    assert job.job_id == "job-000001"
+    assert job.state == "queued"
+    assert not job.terminal
+    popped = queue.pop()
+    assert popped is job
+    assert job.state == "running"
+
+
+def test_derived_seeds_are_a_pure_function_of_the_service_seed():
+    one = JobQueue(seed=42)
+    two = JobQueue(seed=42)
+    other = JobQueue(seed=43)
+    jobs_one = [one.submit(_spec(), derive_seed=True) for _ in range(3)]
+    jobs_two = [two.submit(_spec(), derive_seed=True) for _ in range(3)]
+    seeds = [job.spec.seed for job in jobs_one]
+    assert seeds == [job.spec.seed for job in jobs_two]
+    assert len(set(seeds)) == 3  # distinct per job
+    assert other.submit(_spec(), derive_seed=True).spec.seed != seeds[0]
+    # pure function, recomputable for any sequence number
+    assert one.derive_seed(1) == seeds[0]
+
+
+def test_cancel_is_for_queued_jobs_only():
+    queue = JobQueue()
+    job = queue.submit(_spec())
+    running = queue.submit(_spec(seed=2))
+    cancelled = queue.cancel(job.job_id)
+    assert cancelled.state == "cancelled"
+    assert cancelled.terminal
+    popped = queue.pop()  # lazily skips the cancelled entry
+    assert popped is running
+    with pytest.raises(ReproError, match="only queued"):
+        queue.cancel(running.job_id)
+    with pytest.raises(ReproError, match="unknown job"):
+        queue.cancel("job-999999")
+
+
+def test_recovery_submit_reuses_journaled_identity():
+    queue = JobQueue(seed=9)
+    job = queue.submit(_spec(), job_id="job-000007", seq=7, priority=3)
+    assert job.job_id == "job-000007"
+    assert job.seq == 7
+    # the sequence counter advances past recovered entries
+    fresh = queue.submit(_spec(seed=2))
+    assert fresh.seq == 8
+    with pytest.raises(ReproError, match="duplicate job id"):
+        queue.submit(_spec(), job_id="job-000007")
+
+
+def test_register_finished_adopts_terminal_jobs_only():
+    queue = JobQueue()
+    done = Job(job_id="job-000003", spec=_spec(), seq=3, state="done")
+    queue.register_finished(done)
+    assert queue.get("job-000003") is done
+    assert queue.pop() is None  # terminal jobs never reach the heap
+    live = Job(job_id="job-000004", spec=_spec(), seq=4)
+    with pytest.raises(ReproError, match="terminal"):
+        queue.register_finished(live)
+
+
+def test_depth_running_and_ordered_views():
+    queue = JobQueue()
+    a = queue.submit(_spec(seed=1), priority=1)
+    b = queue.submit(_spec(seed=2))
+    assert queue.depth() == 2
+    assert queue.running() is None
+    popped = queue.pop()
+    assert popped is a
+    assert queue.depth() == 1
+    assert queue.running() is a
+    assert queue.ordered() == [a, b]  # submission order, not priority
+
+
+def test_wire_dict_is_json_clean():
+    import json
+
+    queue = JobQueue()
+    job = queue.submit(_spec(), label="nightly")
+    payload = json.loads(json.dumps(job.to_dict()))
+    assert payload["job_id"] == job.job_id
+    assert payload["label"] == "nightly"
+    assert payload["spec"]["installs"] == 10

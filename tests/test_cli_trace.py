@@ -29,8 +29,11 @@ def test_trace_parser_accepts_the_family():
     assert args.against == "b.jsonl"
     with pytest.raises(SystemExit):
         parser.parse_args(["trace"])  # subcommand required
-    with pytest.raises(SystemExit):
-        parser.parse_args(["trace", "summary"])  # --trace required
+    # --trace is optional at parse time (a --job id is the alternative
+    # source), but running with neither is a usage error.
+    args = parser.parse_args(["trace", "summary"])
+    assert args.trace is None
+    assert main(["trace", "summary"]) == 2
 
 
 def test_trace_windows_is_byte_identical_across_runs(tmp_path, capsys):

@@ -76,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cProfile one fleet run and append the top N "
                              "functions by cumulative time (usable without "
                              "--write/--compare)")
+    parser.add_argument("--serve", type=int, default=0, metavar="JOBS",
+                        help="measure warm-pool jobs/s against cold "
+                             "one-shot fleets over JOBS submissions "
+                             "(usable without --write/--compare)")
+    parser.add_argument("--serve-installs", type=int, default=200,
+                        help="installs per job in --serve mode (small on "
+                             "purpose: pool startup is the cost under test)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes in --serve mode")
     return parser
 
 
@@ -116,20 +125,69 @@ def profile_fleet(spec: CampaignSpec, shards: int, backend: str,
     return stream.getvalue().rstrip()
 
 
+def bench_serve(installs: int, shards: int, jobs: int, workers: int,
+                seed: int) -> list:
+    """Warm-pool vs cold-start job throughput (the serve daemon's win).
+
+    Cold runs each job the way one-shot ``repro fleet`` does — a fresh
+    worker pool per campaign, fork+import paid every time.  Warm runs
+    the same jobs through one resident :class:`FleetExecutor` pool
+    after a single untimed warm-up job, which is exactly the serve
+    daemon's steady state.  Stats are asserted equal, so the speedup
+    is never bought with different work.
+    """
+    from repro.engine import FleetExecutor, multiprocessing_usable
+
+    if not multiprocessing_usable():
+        raise ReproError("--serve needs multiprocessing (process pools "
+                         "are unavailable in this environment)")
+    spec = CampaignSpec(installs=installs, seed=seed)
+    expected = None
+    started = time.perf_counter()
+    for _ in range(jobs):
+        report = run_fleet(spec, shards=shards, backend="process",
+                           workers=workers, progress=NullProgress())
+        expected = report.stats.counter_tuple()
+    cold = time.perf_counter() - started
+    with FleetExecutor(workers=workers, backend="process",
+                       warm=True) as fleet:
+        fleet.run(spec, shards=shards)  # pool warm-up, untimed
+        started = time.perf_counter()
+        for _ in range(jobs):
+            report = fleet.run(spec, shards=shards)
+            if report.stats.counter_tuple() != expected:
+                raise ReproError("warm pool produced different stats "
+                                 "than the cold fleet")
+        warm = time.perf_counter() - started
+    return [
+        f"bench serve: {jobs} job(s) x {installs} installs, "
+        f"{shards} shard(s), {workers} worker(s), seed={seed}",
+        f"  cold     : {cold:.3f}s total  "
+        f"({jobs / cold:.2f} jobs/s) — new pool per job",
+        f"  warm     : {warm:.3f}s total  "
+        f"({jobs / warm:.2f} jobs/s) — resident pool, serve steady state",
+        f"  speedup  : {cold / warm:.2f}x jobs/s "
+        f"(identical merged stats verified per job)",
+    ]
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    standalone = args.profile or args.serve
     if bool(args.write) == bool(args.compare) and not (
-            args.profile and not args.write and not args.compare):
+            standalone and not args.write and not args.compare):
         print("error: exactly one of --write/--compare is required "
-              "(unless only --profile is given)",
+              "(unless only --profile/--serve is given)",
               file=sys.stderr)
         return 2
     try:
         spec = CampaignSpec(installs=args.installs, seed=args.seed)
-        lines = [
-            f"bench fleet: {args.installs} installs, {args.shards} shard(s), "
-            f"backend={args.backend}, seed={args.seed}",
-        ]
+        lines = []
+        if args.write or args.compare or args.trace or args.profile:
+            lines.append(
+                f"bench fleet: {args.installs} installs, "
+                f"{args.shards} shard(s), "
+                f"backend={args.backend}, seed={args.seed}")
         exit_code = 0
         if args.write or args.compare:
             runs = time_fleet(spec, args.shards, args.backend, args.repeat)
@@ -182,6 +240,9 @@ def main(argv=None) -> int:
                          "cumulative time, one fleet run")
             lines.append(profile_fleet(spec, args.shards, args.backend,
                                        args.profile))
+        if args.serve:
+            lines += bench_serve(args.serve_installs, args.shards,
+                                 args.serve, args.workers, args.seed)
         text = "\n".join(lines)
         print(text)
         if args.report:
