@@ -10,6 +10,10 @@ Commands
   paper's developer suggestions.
 - ``fleet``    — run a sharded campaign across a worker pool
   (``--installs 10000 --workers 4``).
+- ``analyze``  — run the sharded measurement study over a streaming
+  corpus (``--corpus play --apps 100000 --shards 16 --workers 4
+  --cache .analysis-cache``); stdout is deterministic for any
+  shard/worker split.
 - ``trace``    — forensics over a recorded JSONL trace:
   ``trace summary``, ``trace critpath``, ``trace windows``,
   ``trace diff`` (``python -m repro trace windows --trace t.jsonl``).
@@ -256,6 +260,58 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"trace: {count} record(s) -> {args.trace}", file=sys.stderr)
     if args.metrics:
         print(render_metrics(report.metrics, title="fleet metrics"))
+        print(engine_metrics.render())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import AnalysisSpec, run_analysis
+    from repro.engine import (
+        ConsoleProgress,
+        MetricsProgress,
+        NullProgress,
+        TeeProgress,
+    )
+    from repro.obs import render_metrics, write_trace_jsonl
+
+    observe = bool(args.trace or args.metrics)
+    spec = AnalysisSpec(
+        corpus=args.corpus,
+        apps=args.apps,
+        # The corpora are calibrated at their own default seed (2016),
+        # unlike the simulator commands' seed 7.
+        seed=2016 if args.seed is None else args.seed,
+        observe=observe,
+        chaos=args.chaos,
+        cache_dir=args.cache,
+    )
+    progress = NullProgress() if args.quiet else ConsoleProgress()
+    engine_metrics = None
+    if args.metrics:
+        engine_metrics = MetricsProgress()
+        progress = TeeProgress(progress, engine_metrics)
+    report = run_analysis(
+        spec,
+        shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+        progress=progress,
+    )
+    # Stdout carries only the deterministic tables (CI byte-compares
+    # it across shard/worker splits); wall-clock and cache-state lines
+    # go to stderr.
+    print(report.render())
+    print(f"wall: {report.wall_seconds:.2f}s "
+          f"({report.throughput:.0f}/s, workers={report.workers}, "
+          f"backend={report.backend})", file=sys.stderr)
+    if args.cache:
+        print(f"cache: {report.cache_hits} hit(s), "
+              f"{report.cache_misses} analyzed", file=sys.stderr)
+    if args.trace:
+        count = write_trace_jsonl(args.trace, report.trace_records())
+        print(f"trace: {count} record(s) -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(render_metrics(report.metrics, title="analysis metrics"))
         print(engine_metrics.render())
     return 0
 
@@ -540,6 +596,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
 
+    from repro.analysis.pipeline import ANALYSIS_CORPORA
+
+    analyze = sub.add_parser(
+        "analyze", parents=[common],
+        help="run the sharded measurement study (classifier, redirect "
+             "scan, hare, platform keys)")
+    analyze.add_argument("--corpus", default="play",
+                         choices=list(ANALYSIS_CORPORA),
+                         help="workload: play / preinstalled app corpus "
+                              "or the factory-image fleet")
+    analyze.add_argument("--apps", type=int, default=None,
+                         help="scale the corpus to N apps at the "
+                              "paper's trait rates (default: paper size)")
+    analyze.add_argument("--shards", type=int, default=None,
+                         help="shard count (default: one per worker)")
+    analyze.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cores, max 4)")
+    analyze.add_argument("--backend", default="auto",
+                         choices=["auto", "process", "serial"])
+    analyze.add_argument("--cache", metavar="DIR", default=None,
+                         help="content-addressed analysis cache: re-runs "
+                              "only re-analyze apps whose code or "
+                              "consulted detector versions changed")
+    analyze.add_argument("--chaos", default=None, metavar="MODE:I,J",
+                         help="failure injection for pool workers "
+                              "(crash:|hang:|error: + shard indices)")
+    analyze.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines")
+
     from repro.fuzz.oracles import oracle_names
 
     fuzz = sub.add_parser(
@@ -685,6 +770,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_audit(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "serve":

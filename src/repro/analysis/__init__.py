@@ -17,7 +17,9 @@ then runs the paper's actual analyses over them:
 - :mod:`repro.analysis.factory_images` — vendor image fleets,
   INSTALL_PACKAGES prevalence (Tables V and VI),
 - :mod:`repro.analysis.platform_keys` — single-platform-key findings,
-- :mod:`repro.analysis.hare_analysis` — Hare permission prevalence.
+- :mod:`repro.analysis.hare_analysis` — Hare permission prevalence,
+- :mod:`repro.analysis.pipeline` — every pass above as a sharded,
+  cacheable :mod:`repro.engine` workload (``repro analyze``).
 """
 
 from repro.analysis.smali import SmaliMethod, SmaliProgram, parse_program
@@ -28,8 +30,22 @@ from repro.analysis.corpus import (
     generate_preinstalled_corpus,
 )
 from repro.analysis.classifier import Category, InstallerClassifier
+from repro.analysis.pipeline import (
+    AnalysisCache,
+    AnalysisReport,
+    AnalysisSpec,
+    AnalysisStats,
+    analyze_app,
+    run_analysis,
+)
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisReport",
+    "AnalysisSpec",
+    "AnalysisStats",
+    "analyze_app",
+    "run_analysis",
     "SmaliMethod",
     "SmaliProgram",
     "parse_program",

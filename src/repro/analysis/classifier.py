@@ -35,11 +35,25 @@ from repro.analysis.corpus import (
     WRITE_EXTERNAL,
 )
 from repro.analysis.smali import Instruction, SmaliMethod, SmaliProgram, parse_program
+from repro.sim.rand import DeterministicRandom
 
 MODE_WORLD_READABLE = 0x1
 
 _CHMOD_RE = re.compile(r"chmod\s+([0-7]{3,4})\s+\S+")
 _POSIX_PERM_RE = re.compile(r"^[rwx-]{9}$")
+
+#: Version fingerprint per evidence detector.  Bump a detector's number
+#: whenever its logic (or a constant it keys on) changes; the analysis
+#: cache stores the versions each app's verdict actually consulted, so
+#: a bump only invalidates apps whose code exercised that detector.
+DETECTOR_VERSIONS: Dict[str, int] = {
+    "marker": 1,
+    "sdcard": 1,
+    "openFileOutput": 1,
+    "setReadable": 1,
+    "chmod": 1,
+    "posix": 1,
+}
 
 
 class Category(enum.Enum):
@@ -62,6 +76,9 @@ class Classification:
     sets_world_readable: bool = False
     unresolved_setter: bool = False
     evidence: List[str] = field(default_factory=list)
+    detectors: List[str] = field(default_factory=list)  # consulted, sorted
+    instructions: int = 0        # parsed instruction count (cost proxy)
+    unparsed_lines: int = 0      # lenient-mode skips, kept as evidence
 
 
 @dataclass
@@ -87,18 +104,35 @@ class CorpusClassification:
 class InstallerClassifier:
     """The static-analysis tool."""
 
-    def classify(self, app: CorpusApp) -> Classification:
-        """Classify one app from its code and manifest."""
-        program = parse_program(app.smali_text)
+    def classify(self, app: CorpusApp,
+                 program: Optional[SmaliProgram] = None) -> Classification:
+        """Classify one app from its code and manifest.
+
+        Parses leniently: a legal-but-unsupported smali form is recorded
+        as evidence instead of aborting the app (and, at fleet scale,
+        its whole shard).  Callers that already parsed the app (the
+        sharded pipeline runs several passes over one parse) may pass
+        the ``program`` in.
+        """
+        if program is None:
+            program = parse_program(app.smali_text, lenient=True)
         result = Classification(package=app.package,
                                 category=Category.NOT_AN_INSTALLER)
+        result.instructions = program.instruction_count
+        result.unparsed_lines = len(program.unparsed)
+        for line_no, line in program.unparsed:
+            result.evidence.append(f"unparsed line {line_no}: {line!r}")
+        result.detectors.append("marker")
         result.has_install_api = program.contains_string(INSTALL_MARKER)
         if not result.has_install_api:
             return result
+        result.detectors.append("sdcard")
         result.uses_sdcard = self._uses_sdcard(program)
         result.sets_world_readable, result.unresolved_setter = (
-            self._world_readable_analysis(program, result.evidence)
+            self._world_readable_analysis(program, result.evidence,
+                                          result.detectors)
         )
+        result.detectors = sorted(set(result.detectors))
         if (
             result.uses_sdcard
             and not result.sets_world_readable
@@ -125,25 +159,32 @@ class InstallerClassifier:
 
     def validate_against_truth(self, apps: List[CorpusApp],
                                results: CorpusClassification,
-                               sample: int = 20) -> Dict[str, float]:
+                               sample: int = 20,
+                               seed: int = 7) -> Dict[str, float]:
         """The paper's manual-validation step, mechanized.
 
-        Samples ``sample`` apps per verdict bucket and checks the
-        planted ground truth, returning per-bucket precision —
-        the paper found 1.0 for both vulnerable and secure.
+        Draws a seeded random ``sample`` per verdict bucket (the paper's
+        manual validation sampled randomly; slicing the head of the list
+        would be order-biased) and checks the planted ground truth,
+        returning per-bucket precision — the paper found 1.0 for both
+        vulnerable and secure.  Empty buckets are omitted: no sample is
+        no evidence, not precision 1.0.
         """
         by_bucket: Dict[Category, List[Tuple[CorpusApp, Classification]]] = {}
         for app, result in zip(apps, results.results):
             by_bucket.setdefault(result.category, []).append((app, result))
+        rng = DeterministicRandom(seed)
         precision: Dict[str, float] = {}
         for category, expected_truths in (
             (Category.POTENTIALLY_VULNERABLE, {GroundTruth.VULNERABLE}),
             (Category.POTENTIALLY_SECURE, {GroundTruth.SECURE}),
         ):
-            bucket = by_bucket.get(category, [])[:sample]
-            if not bucket:
-                precision[category.value] = 1.0
-                continue
+            population = by_bucket.get(category, [])
+            if not population:
+                continue  # nothing to validate -> no precision claim
+            bucket_rng = rng.fork(f"validate-{category.value}")
+            bucket = bucket_rng.sample(population,
+                                       min(sample, len(population)))
             correct = sum(
                 1 for app, _result in bucket if app.truth in expected_truths
             )
@@ -162,21 +203,28 @@ class InstallerClassifier:
                     return True
         return False
 
-    def _world_readable_analysis(self, program: SmaliProgram,
-                                 evidence: List[str]) -> Tuple[bool, bool]:
+    def _world_readable_analysis(
+            self, program: SmaliProgram, evidence: List[str],
+            detectors: Optional[List[str]] = None) -> Tuple[bool, bool]:
         """Returns (confirmed_world_readable, unresolved_setter_present)."""
         confirmed = False
         unresolved = False
+        if detectors is None:
+            detectors = []
         for method in program.all_methods():
             for invoke in method.invokes():
                 name = invoke.invoked_name
                 if name == "openFileOutput":
+                    detectors.append("openFileOutput")
                     verdict = self._check_open_file_output(method, invoke)
                 elif name == "setReadable":
+                    detectors.append("setReadable")
                     verdict = self._check_set_readable(method, invoke)
                 elif name == "exec":
+                    detectors.append("chmod")
                     verdict = self._check_exec_chmod(method, invoke)
                 elif name == "setPosixFilePermissions":
+                    detectors.append("posix")
                     verdict = self._check_posix_permissions(method, invoke)
                 else:
                     continue

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CorpusError
 from repro.sim.rand import DeterministicRandom
@@ -298,24 +298,65 @@ def _render_app_code(package: str, truth: GroundTruth, index: int,
 
 
 # ---------------------------------------------------------------------------
-# corpus generation
+# index-addressable derivation
 # ---------------------------------------------------------------------------
+#
+# The corpus is *streaming and shard-addressable*: app ``index`` is
+# derived in O(1) from the seed, the way ``engine/spec.py`` derives
+# installs, so a million-app corpus is never materialized as a list.
+# Each app's planted trait is its *slot* in a canonical layout
+# (vulnerable apps first, then secure, then the unknowns, then
+# non-installers); a keyed Feistel permutation maps index -> slot, so
+# traits are scattered across the corpus while every category count
+# stays exact by construction.  All spec feasibility checks happen in
+# the plan constructor — *before any app is built* — so a bad custom
+# spec fails cleanly instead of leaving a half-generated corpus.
+
+_M64 = (1 << 64) - 1
 
 
-def _redirect_counts(spec: PlayCorpusSpec, rng: DeterministicRandom) -> List[int]:
-    """Per-app hardcoded-URL counts matching Table IV's buckets."""
-    counts: List[int] = []
-    counts.extend([1] * spec.redirect_exact_1)
-    counts.extend([2] * spec.redirect_exact_2)
-    for index in range(spec.redirect_3_to_4):
-        counts.append(3 + index % 2)
-    for index in range(spec.redirect_5_to_8):
-        counts.append(5 + index % 4)
-    for index in range(spec.redirect_9_plus):
-        counts.append(9 + index % 16)
-    counts.extend([0] * (spec.total - len(counts)))
-    rng.shuffle(counts)
-    return counts
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a stable, well-mixed 64-bit hash."""
+    value &= _M64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _M64
+    return value ^ (value >> 31)
+
+
+class IndexPermutation:
+    """A keyed bijection of ``range(size)`` with O(1) memory.
+
+    Four Feistel rounds over the smallest even-bit domain covering
+    ``size``, cycle-walking values that land past the end back through
+    the network (expected < 4 walks).  Pure integer arithmetic — stable
+    across platforms and Python versions, unlike ``hash()``.
+    """
+
+    def __init__(self, size: int, rng: DeterministicRandom) -> None:
+        self.size = size
+        half = max(1, (max(size, 2).bit_length() + 1) // 2)
+        self._half_bits = half
+        self._mask = (1 << half) - 1
+        self._keys = tuple(
+            rng.fork(f"round-{round_no}").randint(0, _M64)
+            for round_no in range(4)
+        )
+
+    def __call__(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise CorpusError(f"index {index} outside corpus of {self.size}")
+        value = index
+        while True:
+            value = self._feistel(value)
+            if value < self.size:
+                return value
+
+    def _feistel(self, value: int) -> int:
+        left = value >> self._half_bits
+        right = value & self._mask
+        for key in self._keys:
+            left, right = right, left ^ (_mix64(right + key) & self._mask)
+        return (left << self._half_bits) | right
 
 
 def _make_urls(package: str, count: int,
@@ -333,57 +374,283 @@ def _predictable_target(package: str) -> str:
     return f"{package}.companion"
 
 
-def generate_play_corpus(seed: int = 2016,
-                         spec: Optional[PlayCorpusSpec] = None) -> List[CorpusApp]:
-    """Generate the synthetic top-12,750 Google Play corpus."""
-    spec = spec or PlayCorpusSpec()
-    rng = DeterministicRandom(seed).fork("play-corpus")
-    truths: List[GroundTruth] = []
-    truths.extend([GroundTruth.VULNERABLE] * spec.vulnerable)
-    truths.extend([GroundTruth.SECURE] * spec.secure)
-    truths.extend([GroundTruth.UNKNOWN_REFLECTION] * spec.unknown_reflection)
-    truths.extend([GroundTruth.UNKNOWN_FIELD_MODE] * spec.unknown_field_mode)
-    truths.extend([GroundTruth.UNKNOWN_MIXED] * spec.unknown_mixed)
-    truths.extend(
-        [GroundTruth.NON_INSTALLER] * (spec.total - len(truths))
-    )
-    if len(truths) != spec.total:
-        raise CorpusError("Play corpus spec does not sum to its total")
-    rng.shuffle(truths)
-    redirect_counts = _redirect_counts(spec, rng.fork("redirects"))
+class PlayCorpusPlan:
+    """O(1)-memory, index-addressable Play corpus derivation.
 
-    # WRITE_EXTERNAL_STORAGE: every vulnerable app needs it; fill the
-    # remainder from the other apps deterministically.
-    permission_budget = spec.write_external_total - spec.vulnerable
-    if permission_budget < 0:
-        raise CorpusError("write_external_total below vulnerable count")
+    ``app_at(index)`` builds app ``index`` alone; ``iter_apps`` streams
+    a half-open ``[start, stop)`` range — the unit a shard works on.
+    """
 
-    apps: List[CorpusApp] = []
-    for index, truth in enumerate(truths):
+    vendors: Tuple[str, ...] = ()
+
+    def __init__(self, seed: int = 2016,
+                 spec: Optional[PlayCorpusSpec] = None) -> None:
+        spec = spec or PlayCorpusSpec()
+        counts = (spec.total, spec.vulnerable, spec.secure,
+                  spec.unknown_reflection, spec.unknown_field_mode,
+                  spec.unknown_mixed, spec.write_external_total,
+                  spec.redirect_exact_1, spec.redirect_exact_2,
+                  spec.redirect_3_to_4, spec.redirect_5_to_8,
+                  spec.redirect_9_plus)
+        if any(count < 0 for count in counts):
+            raise CorpusError("Play corpus spec has a negative count")
+        if spec.installers > spec.total:
+            raise CorpusError("Play corpus spec does not sum to its total")
+        if spec.write_external_total < spec.vulnerable:
+            raise CorpusError("write_external_total below vulnerable count")
+        if spec.write_external_total > spec.total:
+            raise CorpusError("could not place all WRITE_EXTERNAL grants")
+        if spec.redirecting > spec.total:
+            raise CorpusError("redirect buckets exceed the corpus total")
+        self.seed = seed
+        self.spec = spec
+        self.size = spec.total
+        rng = DeterministicRandom(seed).fork("play-corpus")
+        self._urls_rng = rng.fork("urls")
+        self._truth_perm = IndexPermutation(spec.total, rng.fork("truths"))
+        self._redirect_perm = IndexPermutation(spec.total,
+                                               rng.fork("redirects"))
+        # Canonical slot layout: cumulative truth-category boundaries.
+        self._truth_edges: List[Tuple[int, GroundTruth]] = []
+        edge = 0
+        for count, truth in (
+            (spec.vulnerable, GroundTruth.VULNERABLE),
+            (spec.secure, GroundTruth.SECURE),
+            (spec.unknown_reflection, GroundTruth.UNKNOWN_REFLECTION),
+            (spec.unknown_field_mode, GroundTruth.UNKNOWN_FIELD_MODE),
+            (spec.unknown_mixed, GroundTruth.UNKNOWN_MIXED),
+        ):
+            edge += count
+            self._truth_edges.append((edge, truth))
+
+    def _truth_for_slot(self, slot: int) -> GroundTruth:
+        for edge, truth in self._truth_edges:
+            if slot < edge:
+                return truth
+        return GroundTruth.NON_INSTALLER
+
+    def _redirect_count_for_slot(self, slot: int) -> int:
+        """Table IV's count distribution, laid out over canonical slots."""
+        spec = self.spec
+        if slot < spec.redirect_exact_1:
+            return 1
+        slot -= spec.redirect_exact_1
+        if slot < spec.redirect_exact_2:
+            return 2
+        slot -= spec.redirect_exact_2
+        if slot < spec.redirect_3_to_4:
+            return 3 + slot % 2
+        slot -= spec.redirect_3_to_4
+        if slot < spec.redirect_5_to_8:
+            return 5 + slot % 4
+        slot -= spec.redirect_5_to_8
+        if slot < spec.redirect_9_plus:
+            return 9 + slot % 16
+        return 0
+
+    def app_at(self, index: int) -> CorpusApp:
+        """Build app ``index`` from the seed alone (no shared state)."""
+        slot = self._truth_perm(index)
+        truth = self._truth_for_slot(slot)
         category = PLAY_CATEGORIES[index % len(PLAY_CATEGORIES)]
         package = f"com.play.{category.lower()}.app{index:05d}"
         permissions = {"android.permission.INTERNET"}
-        if truth is GroundTruth.VULNERABLE:
+        # WRITE_EXTERNAL by slot: the vulnerable slots (which *must*
+        # hold it) plus the next slots up to the calibrated total.
+        if slot < self.spec.write_external_total:
             permissions.add(WRITE_EXTERNAL)
-        elif permission_budget > 0:
-            permissions.add(WRITE_EXTERNAL)
-            permission_budget -= 1
-        urls = _make_urls(package, redirect_counts[index], rng)
+        redirect_count = self._redirect_count_for_slot(
+            self._redirect_perm(index))
+        urls = _make_urls(package, redirect_count,
+                          self._urls_rng.fork(f"app-{index}"))
         sdcard_noise = truth is GroundTruth.NON_INSTALLER and index % 5 == 0
-        apps.append(
-            CorpusApp(
-                package=package,
-                category=category,
-                truth=truth,
-                declared_permissions=frozenset(permissions),
-                smali_text=_render_app_code(package, truth, index, urls,
-                                            sdcard_noise),
-                redirect_urls=urls,
-            )
+        return CorpusApp(
+            package=package,
+            category=category,
+            truth=truth,
+            declared_permissions=frozenset(permissions),
+            smali_text=_render_app_code(package, truth, index, urls,
+                                        sdcard_noise),
+            redirect_urls=urls,
         )
-    if permission_budget != 0:
-        raise CorpusError("could not place all WRITE_EXTERNAL grants")
-    return apps
+
+    def iter_apps(self, start: int = 0,
+                  stop: Optional[int] = None) -> Iterator[CorpusApp]:
+        """Stream apps ``[start, stop)`` without materializing a list."""
+        stop = self.size if stop is None else min(stop, self.size)
+        for index in range(start, stop):
+            yield self.app_at(index)
+
+
+class PreinstalledCorpusPlan:
+    """O(1)-memory, index-addressable pre-installed corpus derivation.
+
+    The slot layout packs the bookkeeping the old list-based generator
+    fixed up after the fact (``_rebalance_instances``) into exact,
+    validated arithmetic: slots ``[0, eight_count)`` are 8-instance
+    apps, slots ``[0, write_apps)`` hold WRITE_EXTERNAL (vulnerable
+    slots come first, so they always hold it), everything else is a
+    7-instance app.  Totals are exact by construction and every
+    feasibility check runs before any app is built.
+    """
+
+    vendors: Tuple[str, ...] = ("samsung", "xiaomi", "huawei")
+
+    def __init__(self, seed: int = 2016,
+                 spec: Optional[PreinstalledCorpusSpec] = None) -> None:
+        spec = spec or PreinstalledCorpusSpec()
+        counts = (spec.unique_apps, spec.total_instances, spec.vulnerable,
+                  spec.secure, spec.unknown, spec.write_external_instances)
+        if any(count < 0 for count in counts):
+            raise CorpusError("pre-installed corpus spec has a negative count")
+        if spec.installers > spec.unique_apps:
+            raise CorpusError("installer counts exceed unique_apps")
+        eight_count = spec.total_instances - 7 * spec.unique_apps
+        if not 0 <= eight_count <= spec.unique_apps:
+            raise CorpusError("instance arithmetic does not fit the spec")
+        if spec.write_external_instances % 8 != 0:
+            raise CorpusError("write_external_instances must divide by 8 here")
+        write_apps = spec.write_external_instances // 8
+        if write_apps > eight_count or spec.vulnerable > write_apps:
+            raise CorpusError("cannot place WRITE_EXTERNAL holders")
+        self.seed = seed
+        self.spec = spec
+        self.size = spec.unique_apps
+        self.eight_count = eight_count
+        self.write_apps = write_apps
+        rng = DeterministicRandom(seed).fork("preinstalled-corpus")
+        self._perm = IndexPermutation(spec.unique_apps, rng.fork("truths"))
+        reflection = spec.unknown // 2
+        self._truth_edges = []
+        edge = 0
+        for count, truth in (
+            (spec.vulnerable, GroundTruth.VULNERABLE),
+            (spec.secure, GroundTruth.SECURE),
+            (reflection, GroundTruth.UNKNOWN_REFLECTION),
+            (spec.unknown - reflection, GroundTruth.UNKNOWN_FIELD_MODE),
+        ):
+            edge += count
+            self._truth_edges.append((edge, truth))
+
+    def _truth_for_slot(self, slot: int) -> GroundTruth:
+        for edge, truth in self._truth_edges:
+            if slot < edge:
+                return truth
+        return GroundTruth.NON_INSTALLER
+
+    def app_at(self, index: int) -> CorpusApp:
+        """Build app ``index`` from the seed alone (no shared state)."""
+        slot = self._perm(index)
+        truth = self._truth_for_slot(slot)
+        vendor = self.vendors[index % len(self.vendors)]
+        if truth is GroundTruth.SECURE:
+            ordinal = slot - self.spec.vulnerable
+            if ordinal < len(SECURE_PREINSTALLED_PACKAGES):
+                package = SECURE_PREINSTALLED_PACKAGES[ordinal]
+            else:  # scaled corpora outgrow the paper's three names
+                package = f"com.{vendor}.secure.pay{ordinal:04d}"
+        else:
+            package = f"com.{vendor}.sys.app{index:04d}"
+        permissions = {"android.permission.INTERNET"}
+        if slot < self.write_apps:
+            permissions.add(WRITE_EXTERNAL)
+        instances = 8 if slot < self.eight_count else 7
+        return CorpusApp(
+            package=package,
+            category="PREINSTALLED",
+            truth=truth,
+            declared_permissions=frozenset(permissions),
+            smali_text=_render_app_code(package, truth, index, (), False),
+            is_preinstalled=True,
+            vendor=vendor,
+            instances=instances,
+        )
+
+    def iter_apps(self, start: int = 0,
+                  stop: Optional[int] = None) -> Iterator[CorpusApp]:
+        """Stream apps ``[start, stop)`` without materializing a list."""
+        stop = self.size if stop is None else min(stop, self.size)
+        for index in range(start, stop):
+            yield self.app_at(index)
+
+
+#: Corpus kinds the sharded analysis pipeline can address by name.
+CORPUS_KINDS = ("play", "preinstalled")
+
+
+def corpus_plan(kind: str, seed: int = 2016, spec=None):
+    """Factory: a streaming corpus plan for ``kind`` (see CORPUS_KINDS)."""
+    if kind == "play":
+        return PlayCorpusPlan(seed, spec)
+    if kind == "preinstalled":
+        return PreinstalledCorpusPlan(seed, spec)
+    raise CorpusError(f"unknown corpus kind {kind!r}")
+
+
+def scaled_play_spec(total: int) -> PlayCorpusSpec:
+    """A Play spec scaled to ``total`` apps at the paper's trait rates.
+
+    ``scaled_play_spec(12750)`` is exactly the paper spec; other sizes
+    floor-scale every bucket (so sums can never exceed the total).
+    """
+    base = PlayCorpusSpec()
+    if total == base.total:
+        return base
+    if total < 1:
+        raise CorpusError("Play corpus needs at least one app")
+
+    def scale(count: int) -> int:
+        return (count * total) // base.total
+
+    return PlayCorpusSpec(
+        total=total,
+        vulnerable=scale(base.vulnerable),
+        secure=scale(base.secure),
+        unknown_reflection=scale(base.unknown_reflection),
+        unknown_field_mode=scale(base.unknown_field_mode),
+        unknown_mixed=scale(base.unknown_mixed),
+        write_external_total=scale(base.write_external_total),
+        redirect_exact_1=scale(base.redirect_exact_1),
+        redirect_exact_2=scale(base.redirect_exact_2),
+        redirect_3_to_4=scale(base.redirect_3_to_4),
+        redirect_5_to_8=scale(base.redirect_5_to_8),
+        redirect_9_plus=scale(base.redirect_9_plus),
+    )
+
+
+def scaled_preinstalled_spec(unique_apps: int) -> PreinstalledCorpusSpec:
+    """A pre-installed spec scaled to ``unique_apps`` at paper rates."""
+    base = PreinstalledCorpusSpec()
+    if unique_apps == base.unique_apps:
+        return base
+    if unique_apps < 1:
+        raise CorpusError("pre-installed corpus needs at least one app")
+
+    def scale(count: int) -> int:
+        return (count * unique_apps) // base.unique_apps
+
+    eight_count = scale(base.total_instances - 7 * base.unique_apps)
+    vulnerable = scale(base.vulnerable)
+    write_apps = min(eight_count,
+                     max(vulnerable, scale(base.write_external_instances // 8)))
+    return PreinstalledCorpusSpec(
+        unique_apps=unique_apps,
+        total_instances=7 * unique_apps + eight_count,
+        vulnerable=vulnerable,
+        secure=scale(base.secure),
+        unknown=scale(base.unknown),
+        write_external_instances=8 * write_apps,
+    )
+
+
+def generate_play_corpus(seed: int = 2016,
+                         spec: Optional[PlayCorpusSpec] = None) -> List[CorpusApp]:
+    """Generate the synthetic top-12,750 Google Play corpus.
+
+    Materializes the streaming :class:`PlayCorpusPlan` — callers that
+    only need a shard should use the plan's ``iter_apps`` directly.
+    """
+    return list(PlayCorpusPlan(seed, spec).iter_apps())
 
 
 def generate_preinstalled_corpus(
@@ -394,90 +661,6 @@ def generate_preinstalled_corpus(
     Returns the 1,613 *unique* apps; each carries ``instances`` — how
     many of the 60 images ship it — so instance-weighted statistics
     (like the paper's 5,864/12,050 WRITE_EXTERNAL count) can be taken.
+    Materializes the streaming :class:`PreinstalledCorpusPlan`.
     """
-    spec = spec or PreinstalledCorpusSpec()
-    rng = DeterministicRandom(seed).fork("preinstalled-corpus")
-    truths: List[GroundTruth] = []
-    truths.extend([GroundTruth.VULNERABLE] * spec.vulnerable)
-    truths.extend([GroundTruth.SECURE] * spec.secure)
-    reflection = spec.unknown // 2
-    field_mode = spec.unknown - reflection
-    truths.extend([GroundTruth.UNKNOWN_REFLECTION] * reflection)
-    truths.extend([GroundTruth.UNKNOWN_FIELD_MODE] * field_mode)
-    truths.extend(
-        [GroundTruth.NON_INSTALLER] * (spec.unique_apps - len(truths))
-    )
-    rng.shuffle(truths)
-
-    # Instance counts: N unique apps over `total_instances` placements.
-    # With 1,613 apps and 12,050 instances: 759 apps appear on 8 images
-    # and 854 on 7 (759*8 + 854*7 = 12,050).
-    eight_count = spec.total_instances - 7 * spec.unique_apps
-    if not 0 <= eight_count <= spec.unique_apps:
-        raise CorpusError("instance arithmetic does not fit the spec")
-    instance_counts = [8] * eight_count + [7] * (spec.unique_apps - eight_count)
-
-    # WRITE_EXTERNAL is counted instance-weighted: 733 eight-instance
-    # apps hold it (733 * 8 = 5,864).  Vulnerable apps must hold it, so
-    # they are placed among those 733.
-    if spec.write_external_instances % 8 != 0:
-        raise CorpusError("write_external_instances must divide by 8 here")
-    write_apps = spec.write_external_instances // 8
-    if write_apps > eight_count or spec.vulnerable > write_apps:
-        raise CorpusError("cannot place WRITE_EXTERNAL holders")
-
-    vendors = ["samsung", "xiaomi", "huawei"]
-    apps: List[CorpusApp] = []
-    secure_assigned = 0
-    # Vulnerable apps hold WRITE_EXTERNAL by definition; reserve their
-    # quota upfront so the non-vulnerable fill stays exact.
-    write_remaining = write_apps - spec.vulnerable
-    for index, truth in enumerate(truths):
-        vendor = vendors[index % len(vendors)]
-        if truth is GroundTruth.SECURE:
-            package = SECURE_PREINSTALLED_PACKAGES[secure_assigned]
-            secure_assigned += 1
-        else:
-            package = f"com.{vendor}.sys.app{index:04d}"
-        permissions = {"android.permission.INTERNET"}
-        if truth is GroundTruth.VULNERABLE:
-            instances = 8
-            permissions.add(WRITE_EXTERNAL)
-        else:
-            instances = instance_counts[index]
-            if instances == 8 and write_remaining > 0:
-                permissions.add(WRITE_EXTERNAL)
-                write_remaining -= 1
-        urls: Tuple[str, ...] = ()
-        apps.append(
-            CorpusApp(
-                package=package,
-                category="PREINSTALLED",
-                truth=truth,
-                declared_permissions=frozenset(permissions),
-                smali_text=_render_app_code(package, truth, index, urls, False),
-                is_preinstalled=True,
-                vendor=vendor,
-                instances=instances,
-            )
-        )
-    # Rebalance instance totals: vulnerable apps were forced to 8, which
-    # may double-count slots; fix by trimming other 8-instance apps.
-    _rebalance_instances(apps, spec.total_instances)
-    return apps
-
-
-def _rebalance_instances(apps: List[CorpusApp], target_total: int) -> None:
-    current = sum(app.instances for app in apps)
-    index = 0
-    while current > target_total and index < len(apps):
-        app = apps[index]
-        if (app.instances == 8 and app.truth is not GroundTruth.VULNERABLE
-                and WRITE_EXTERNAL not in app.declared_permissions):
-            app.instances = 7
-            current -= 1
-        index += 1
-    if current != target_total:
-        raise CorpusError(
-            f"instance rebalance failed: {current} != {target_total}"
-        )
+    return list(PreinstalledCorpusPlan(seed, spec).iter_apps())

@@ -19,10 +19,23 @@ Supported instruction forms (one per line, ``#`` comments allowed)::
     .method install()V
     const-string v1, "/sdcard/download/app.apk"
     const/4 v2, 1
+    const-wide/16 v4, 0x10
     move v3, v2
     invoke-virtual {v0, v1, v2}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+    invoke-virtual/range {v0 .. v2}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
     iget v2, v0, Lcom/example/Foo;->mode:I
     .end method
+
+Class-level metadata directives (``.super``, ``.source``, ``.field``,
+``.implements``), method-body bookkeeping directives (``.locals``,
+``.registers``, ``.line``, ``.param``, ``.prologue``, ``.local``,
+``.catch`` ...) and ``.annotation`` / ``.packed-switch`` /
+``.sparse-switch`` / ``.array-data`` blocks are legal smali and are
+skipped.  By default an *instruction* line that matches no supported
+form raises :class:`~repro.errors.SmaliParseError`; at fleet scale one
+odd app must not kill its whole shard, so ``parse_program(...,
+lenient=True)`` instead records the line in
+:attr:`SmaliProgram.unparsed` as evidence and keeps going.
 """
 
 from __future__ import annotations
@@ -34,20 +47,46 @@ from typing import Iterator, List, Optional, Tuple, Union
 from repro.errors import SmaliParseError
 
 _INVOKE_RE = re.compile(
-    r"^invoke-(?:virtual|static|direct|interface)\s*"
+    r"^invoke-(?:virtual|static|direct|interface|super)(?:/range)?\s*"
     r"\{(?P<regs>[^}]*)\}\s*,\s*(?P<sig>\S.*)$"
 )
 _CONST_STRING_RE = re.compile(
-    r'^const-string\s+(?P<reg>[vp]\d+)\s*,\s*"(?P<value>.*)"$'
+    r'^const-string(?:/jumbo)?\s+(?P<reg>[vp]\d+)\s*,\s*"(?P<value>.*)"$'
 )
+# const, const/4, const/16, const/high16, const-wide, const-wide/16,
+# const-wide/32, const-wide/high16 — the width suffix comes *after* the
+# optional -wide marker, which the previous pattern got backwards (it
+# accepted ``const-wide`` but not ``const-wide/16``).
 _CONST_INT_RE = re.compile(
-    r"^const(?:/\d+|/high16|-wide)?\s+(?P<reg>[vp]\d+)\s*,\s*(?P<value>-?(?:0x[0-9a-fA-F]+|\d+))$"
+    r"^const(?:-wide)?(?:/(?:\d+|high16))?\s+(?P<reg>[vp]\d+)\s*,\s*"
+    r"(?P<value>-?(?:0x[0-9a-fA-F]+|\d+))(?:L)?$"
 )
 _MOVE_RE = re.compile(
     r"^move(?:-object|-wide)?(?:/from16|/16)?\s+(?P<dst>[vp]\d+)\s*,\s*(?P<src>[vp]\d+)$"
 )
 _IGET_RE = re.compile(
     r"^[is]get(?:-object|-boolean|-wide)?\s+(?P<reg>[vp]\d+)\s*,.*$"
+)
+_RANGE_RE = re.compile(
+    r"^(?P<kind>[vp])(?P<start>\d+)\s*\.\.\s*(?P=kind)(?P<stop>\d+)$"
+)
+
+#: Block directives whose body lines are payload, not instructions.
+#: Annotations may nest (parameter annotations hold sub-annotations),
+#: so the parser tracks depth per block kind.
+_BLOCK_DIRECTIVES = {
+    ".annotation": ".end annotation",
+    ".subannotation": ".end subannotation",
+    ".packed-switch": ".end packed-switch",
+    ".sparse-switch": ".end sparse-switch",
+    ".array-data": ".end array-data",
+}
+
+#: Single-line bookkeeping directives that carry no dataflow.
+_SKIP_DIRECTIVES = (
+    ".locals", ".registers", ".line", ".param", ".end param", ".prologue",
+    ".source", ".super", ".implements", ".field", ".end field",
+    ".local", ".end local", ".restart local", ".catch", ".catchall",
 )
 
 
@@ -61,6 +100,7 @@ class Instruction:
     sources: Tuple[str, ...] = ()
     literal: Union[str, int, None] = None
     method_sig: str = ""         # for invokes: full Lpkg;->name(args)ret
+    index: int = -1              # position in the owning method, set at parse time
 
     @property
     def invoked_name(self) -> str:
@@ -117,7 +157,9 @@ class SmaliMethod:
         """
         if arg_index >= len(invoke.sources):
             return None
-        position = self._position_of(invoke)
+        position = invoke.index
+        if position < 0:  # hand-built instruction: fall back to a scan
+            position = self._position_of(invoke)
         definition = self.reaching_def(invoke.sources[arg_index], position)
         if definition is None or definition.op == "iget":
             return None
@@ -143,6 +185,7 @@ class SmaliProgram:
     """A whole app's decompiled code."""
 
     classes: List[SmaliClass] = field(default_factory=list)
+    unparsed: List[Tuple[int, str]] = field(default_factory=list)
 
     def all_methods(self) -> Iterator[SmaliMethod]:
         """Every method of every class."""
@@ -158,18 +201,50 @@ class SmaliProgram:
         """True if any string constant contains ``needle``."""
         return any(needle in value for value in self.all_strings())
 
+    @property
+    def instruction_count(self) -> int:
+        """Total parsed instructions across every method."""
+        return sum(len(method.instructions) for method in self.all_methods())
 
-def parse_program(text: str) -> SmaliProgram:
+
+def _expand_registers(spec: str) -> Tuple[str, ...]:
+    """Register list of an invoke: ``v0, v1`` or the range ``v0 .. v5``."""
+    spec = spec.strip()
+    match = _RANGE_RE.match(spec)
+    if match is not None:
+        start, stop = int(match.group("start")), int(match.group("stop"))
+        if stop < start:
+            raise SmaliParseError(f"descending register range {spec!r}")
+        kind = match.group("kind")
+        return tuple(f"{kind}{n}" for n in range(start, stop + 1))
+    return tuple(reg.strip() for reg in spec.split(",") if reg.strip())
+
+
+def parse_program(text: str, lenient: bool = False) -> SmaliProgram:
     """Parse smali-like text into a :class:`SmaliProgram`.
 
     Raises :class:`~repro.errors.SmaliParseError` on malformed input.
+    With ``lenient=True`` malformed lines are recorded in
+    :attr:`SmaliProgram.unparsed` (as ``(line_no, line)`` evidence)
+    instead of aborting the parse.
     """
     program = SmaliProgram()
     current_class: Optional[SmaliClass] = None
     current_method: Optional[SmaliMethod] = None
+    block_end: Optional[str] = None  # inside .annotation/.array-data/...
+    block_depth = 0
+    block_start: Optional[str] = None
     for line_no, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
+            continue
+        if block_end is not None:
+            if line == block_end:
+                block_depth -= 1
+                if block_depth == 0:
+                    block_end = block_start = None
+            elif block_start is not None and line.startswith(block_start):
+                block_depth += 1  # nested annotation
             continue
         if line.startswith(".class"):
             current_class = SmaliClass(name=line.split(None, 1)[1])
@@ -178,41 +253,70 @@ def parse_program(text: str) -> SmaliProgram:
             continue
         if line.startswith(".method"):
             if current_class is None:
-                raise SmaliParseError(f"line {line_no}: method outside class")
+                if lenient:
+                    program.unparsed.append((line_no, line))
+                    current_class = SmaliClass(name="<anonymous>")
+                    program.classes.append(current_class)
+                else:
+                    raise SmaliParseError(
+                        f"line {line_no}: method outside class")
             current_method = SmaliMethod(name=line.split(None, 1)[1])
             current_class.methods.append(current_method)
             continue
         if line.startswith(".end method"):
             current_method = None
             continue
+        matched_block = next(
+            (d for d in _BLOCK_DIRECTIVES
+             if line == d or line.startswith(d + " ")), None)
+        if matched_block is not None:
+            block_start = matched_block
+            block_end = _BLOCK_DIRECTIVES[matched_block]
+            block_depth = 1
+            continue
+        if any(line == d or line.startswith(d + " ")
+               for d in _SKIP_DIRECTIVES):
+            continue
         if current_method is None:
+            if lenient:
+                program.unparsed.append((line_no, line))
+                continue
             raise SmaliParseError(f"line {line_no}: instruction outside method")
-        current_method.instructions.append(_parse_instruction(line, line_no))
+        instruction = _parse_instruction(
+            line, line_no, index=len(current_method.instructions),
+            lenient=lenient)
+        if instruction is None:
+            program.unparsed.append((line_no, line))
+        else:
+            current_method.instructions.append(instruction)
     return program
 
 
-def _parse_instruction(line: str, line_no: int) -> Instruction:
+def _parse_instruction(line: str, line_no: int, index: int = -1,
+                       lenient: bool = False) -> Optional[Instruction]:
     match = _CONST_STRING_RE.match(line)
     if match:
         return Instruction(op="const-string", line_no=line_no,
-                           dest=match.group("reg"), literal=match.group("value"))
+                           dest=match.group("reg"),
+                           literal=match.group("value"), index=index)
     match = _CONST_INT_RE.match(line)
     if match:
         return Instruction(op="const-int", line_no=line_no,
                            dest=match.group("reg"),
-                           literal=int(match.group("value"), 0))
+                           literal=int(match.group("value"), 0), index=index)
     match = _MOVE_RE.match(line)
     if match:
         return Instruction(op="move", line_no=line_no, dest=match.group("dst"),
-                           sources=(match.group("src"),))
+                           sources=(match.group("src"),), index=index)
     match = _INVOKE_RE.match(line)
     if match:
-        registers = tuple(
-            reg.strip() for reg in match.group("regs").split(",") if reg.strip()
-        )
+        registers = _expand_registers(match.group("regs"))
         return Instruction(op="invoke", line_no=line_no, sources=registers,
-                           method_sig=match.group("sig").strip())
+                           method_sig=match.group("sig").strip(), index=index)
     match = _IGET_RE.match(line)
     if match:
-        return Instruction(op="iget", line_no=line_no, dest=match.group("reg"))
+        return Instruction(op="iget", line_no=line_no,
+                           dest=match.group("reg"), index=index)
+    if lenient:
+        return None
     raise SmaliParseError(f"line {line_no}: cannot parse {line!r}")

@@ -73,6 +73,12 @@ def run_shard(shard: ShardSpec) -> ShardResult:
     trace records and metrics snapshot (simulated-time only, so both
     are deterministic for a fixed shard spec).
     """
+    execute = getattr(shard, "execute", None)
+    if execute is not None:
+        # Self-executing workload (e.g. repro.analysis.pipeline shards):
+        # the spec knows how to run its own slice; the executor supplies
+        # only pooling, retries, chaos and merge.
+        return execute()
     started = time.perf_counter()
     spec = shard.campaign
     recorder = TraceRecorder() if spec.observe else None
@@ -548,7 +554,8 @@ class FleetExecutor:
             self._run_warm(todo, results, total, counters, on_result)
         else:
             self._run_pool(todo, results, total, counters, on_result)
-        report = FleetReport.from_shards(
+        report_class = getattr(type(spec), "report_class", None) or FleetReport
+        report = report_class.from_shards(
             spec, list(results.values()),
             wall_seconds=time.perf_counter() - started,
             workers=workers, backend=backend,

@@ -194,6 +194,106 @@ invoke-virtual {{v0, v4, v5}}, Landroid/content/Intent;->setDataAndType(Landroid
     assert classifier.classify(make_app(smali)).uses_sdcard
 
 
+def _setter_app(setter_lines, permissions=(WRITE_EXTERNAL,)):
+    """An installer whose only world-readable signal is ``setter_lines``."""
+    body = "\n".join(setter_lines)
+    smali = f"""
+.class La;
+.method m()V
+{body}
+const-string v9, "{INSTALL_MARKER}"
+invoke-virtual {{v0, v8, v9}}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+.end method
+"""
+    return make_app(smali, permissions=permissions)
+
+
+def test_chmod_four_digit_0640_not_world_readable(classifier):
+    app = _setter_app([
+        'const-string v2, "chmod 0640 /data/data/a/files/x.apk"',
+        "invoke-virtual {v1, v2}, Ljava/lang/Runtime;->exec(Ljava/lang/String;)Ljava/lang/Process;",
+    ])
+    result = classifier.classify(app)
+    assert not result.sets_world_readable
+    assert "chmod" in result.detectors
+
+
+def test_chmod_four_digit_0644_world_readable(classifier):
+    app = _setter_app([
+        'const-string v2, "chmod 0644 /data/data/a/files/x.apk"',
+        "invoke-virtual {v1, v2}, Ljava/lang/Runtime;->exec(Ljava/lang/String;)Ljava/lang/Process;",
+    ])
+    assert classifier.classify(app).sets_world_readable
+
+
+def test_set_readable_true_true_is_owner_only(classifier):
+    # setReadable(true, true): readable, but for the owner only.
+    app = _setter_app([
+        "const/4 v2, 1",
+        "const/4 v3, 1",
+        "invoke-virtual {v1, v2, v3}, Ljava/io/File;->setReadable(ZZ)Z",
+    ])
+    result = classifier.classify(app)
+    assert not result.sets_world_readable
+    assert "setReadable" in result.detectors
+
+
+def test_posix_group_only_permissions_not_world_readable(classifier):
+    app = _setter_app([
+        'const-string v2, "rw-rw----"',
+        "invoke-static {v1, v2}, Ljava/nio/file/Files;->setPosixFilePermissions(Ljava/nio/file/Path;Ljava/util/Set;)Ljava/nio/file/Path;",
+    ])
+    result = classifier.classify(app)
+    assert not result.sets_world_readable
+    assert "posix" in result.detectors
+
+
+def test_posix_other_read_permissions_world_readable(classifier):
+    app = _setter_app([
+        'const-string v2, "rw-r--r--"',
+        "invoke-static {v1, v2}, Ljava/nio/file/Files;->setPosixFilePermissions(Ljava/nio/file/Path;Ljava/util/Set;)Ljava/nio/file/Path;",
+    ])
+    assert classifier.classify(app).sets_world_readable
+
+
+def test_marker_inside_url_still_counts_as_installer(classifier):
+    # The paper's tool greps for the MIME-type constant; a URL that
+    # merely *contains* it is indistinguishable at this layer, so the
+    # app lands in the installer population (then: unknown bucket).
+    smali = """
+.class La;
+.method m()V
+const-string v1, "https://cdn.example.com/application/vnd.android.package-archive/latest"
+.end method
+"""
+    result = classifier.classify(make_app(smali))
+    assert result.has_install_api
+    assert result.category is Category.UNKNOWN
+
+
+# -- seeded validation sampling ---------------------------------------------------
+
+
+def test_validation_sampling_is_seeded_and_unbiased(classifier):
+    corpus = generate_play_corpus(seed=11)
+    results = classifier.classify_corpus(corpus)
+    first = classifier.validate_against_truth(corpus, results, sample=20,
+                                              seed=3)
+    again = classifier.validate_against_truth(corpus, results, sample=20,
+                                              seed=3)
+    assert first == again
+    other_seed = classifier.validate_against_truth(corpus, results,
+                                                   sample=20, seed=4)
+    assert set(other_seed) == set(first)  # same buckets, fresh draw
+
+
+def test_validation_omits_empty_buckets(classifier):
+    app = make_app('.class La;\n.method m()V\nconst-string v1, "x"\n.end method')
+    results = classifier.classify_corpus([app])
+    precision = classifier.validate_against_truth([app], results)
+    assert precision == {}  # no vulnerable/secure apps -> no claims
+
+
 # -- calibration against the paper's numbers (Tables II / III) --------------------
 
 

@@ -115,6 +115,153 @@ def test_invoke_static_form():
     assert invoke.invoked_name == "get"
 
 
+def test_const_wide_16_parses():
+    program = parse_program(
+        ".class La;\n.method m()V\nconst-wide/16 v4, 0x10\n.end method"
+    )
+    instruction = program.classes[0].methods[0].instructions[0]
+    assert instruction.op == "const-int"
+    assert instruction.literal == 16
+
+
+def test_const_16_and_wide_variants_parse():
+    text = """
+.class La;
+.method m()V
+const/16 v1, 256
+const-wide v2, 0x1234L
+const-wide/32 v4, -5
+const-wide/high16 v6, 0x4000
+.end method
+"""
+    program = parse_program(text)
+    literals = [ins.literal
+                for ins in program.classes[0].methods[0].instructions]
+    assert literals == [256, 0x1234, -5, 0x4000]
+
+
+def test_invoke_range_expands_registers():
+    text = """
+.class La;
+.method m()V
+const-string v0, "staged.apk"
+const/4 v1, 1
+invoke-virtual/range {v0 .. v1}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+.end method
+"""
+    program = parse_program(text)
+    method = program.classes[0].methods[0]
+    invoke = next(method.invokes())
+    assert invoke.sources == ("v0", "v1")
+    assert method.resolve_argument(invoke, 1) == 1
+
+
+def test_invoke_super_and_jumbo_string():
+    text = """
+.class La;
+.method m()V
+const-string/jumbo v1, "big"
+invoke-super {v0, v1}, Lb;->log(Ljava/lang/String;)V
+.end method
+"""
+    program = parse_program(text)
+    method = program.classes[0].methods[0]
+    assert method.string_constants() == ["big"]
+    assert next(method.invokes()).invoked_name == "log"
+
+
+def test_annotation_blocks_skipped():
+    text = """
+.class La;
+.annotation system Ldalvik/annotation/MemberClasses;
+    value = { La$b; }
+.end annotation
+.method m()V
+.annotation runtime Lc/d;
+    .subannotation Le/f;
+        x = 1
+    .end subannotation
+.end annotation
+const/4 v0, 1
+.end method
+"""
+    program = parse_program(text)
+    assert len(program.classes[0].methods[0].instructions) == 1
+    assert not program.unparsed
+
+
+def test_switch_and_array_data_payloads_skipped():
+    text = """
+.class La;
+.method m()V
+const/4 v0, 1
+.packed-switch 0x0
+    :case_0
+    :case_1
+.end packed-switch
+.array-data 4
+    0x1 0x2
+.end array-data
+.end method
+"""
+    program = parse_program(text)
+    assert len(program.classes[0].methods[0].instructions) == 1
+
+
+def test_bookkeeping_directives_skipped():
+    text = """
+.class La;
+.super Ljava/lang/Object;
+.source "A.java"
+.field private mode:I
+.method m()V
+.locals 3
+.param p1, "x"
+.prologue
+.line 12
+const/4 v0, 1
+.local v0, "m":I
+.end local v0
+.restart local v0
+.end method
+"""
+    program = parse_program(text)
+    assert len(program.classes[0].methods[0].instructions) == 1
+
+
+def test_lenient_mode_records_unparsed_lines():
+    text = ".class La;\n.method m()V\nwobble v0\nconst/4 v1, 1\n.end method"
+    program = parse_program(text, lenient=True)
+    assert program.unparsed == [(3, "wobble v0")]
+    assert len(program.classes[0].methods[0].instructions) == 1
+    # strict mode still refuses the same input
+    with pytest.raises(SmaliParseError):
+        parse_program(text)
+
+
+def test_lenient_mode_survives_structure_errors():
+    program = parse_program(".method m()V\nconst/4 v0, 1\n.end method",
+                            lenient=True)
+    assert program.classes[0].name == "<anonymous>"
+    assert len(program.unparsed) == 1
+    assert program.instruction_count == 1
+
+
+def test_instruction_index_recorded_at_parse_time():
+    program = parse_program(SAMPLE)
+    for method in program.all_methods():
+        assert [ins.index for ins in method.instructions] == list(
+            range(len(method.instructions)))
+
+
+def test_descending_register_range_rejected():
+    with pytest.raises(SmaliParseError):
+        parse_program(
+            ".class La;\n.method m()V\n"
+            "invoke-virtual/range {v5 .. v2}, La;->m()V\n.end method"
+        )
+
+
 def test_latest_definition_wins():
     text = """
 .class La;

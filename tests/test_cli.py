@@ -206,3 +206,60 @@ def test_fleet_zero_installs_is_fine(capsys):
     assert "0 installs over 2 shard(s)" in out
     assert "CI [0.0000, 1.0000]" in out
     assert "fleet metrics: 0 metric(s)" in out
+
+
+# -- analyze ------------------------------------------------------------------
+
+
+def test_analyze_stdout_identical_across_splits(capsys):
+    outputs = []
+    for extra in (["--shards", "1"], ["--shards", "4"]):
+        assert main(["analyze", "--corpus", "play", "--apps", "400",
+                     "--backend", "serial", "--quiet"] + extra) == 0
+        captured = capsys.readouterr()
+        outputs.append(captured.out)
+        assert "wall:" in captured.err  # timing stays off stdout
+    assert outputs[0] == outputs[1]
+    assert "apps analyzed           : 400" in outputs[0]
+
+
+def test_analyze_preinstalled_reports_instances(capsys):
+    assert main(["analyze", "--corpus", "preinstalled", "--apps", "200",
+                 "--backend", "serial", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "app instances" in out
+    assert "WRITE_EXTERNAL instances" in out
+
+
+def test_analyze_cache_lines_on_stderr(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["analyze", "--corpus", "play", "--apps", "120",
+            "--backend", "serial", "--quiet", "--cache", cache]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "cache: 0 hit(s), 120 analyzed" in first.err
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "cache: 120 hit(s), 0 analyzed" in second.err
+    assert first.out == second.out  # cache state never changes the tables
+
+
+def test_analyze_trace_and_metrics(tmp_path, capsys):
+    from repro.obs import load_trace_jsonl
+
+    path = str(tmp_path / "analysis.jsonl")
+    assert main(["analyze", "--corpus", "play", "--apps", "50",
+                 "--backend", "serial", "--quiet",
+                 "--trace", path, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis metrics:" in out
+    assert "counter   analysis/apps" in out
+    records = load_trace_jsonl(path)
+    assert len(records) == 50
+    assert all(record["name"] == "analysis/app" for record in records)
+
+
+def test_analyze_images_apps_flag_rejected(capsys):
+    assert main(["analyze", "--corpus", "images", "--apps", "99",
+                 "--quiet"]) == 2
+    assert "fixed at the paper's fleet size" in capsys.readouterr().err

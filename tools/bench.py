@@ -45,6 +45,10 @@ DEFAULT_INSTALLS = 2000
 DEFAULT_SHARDS = 4
 DEFAULT_SEED = 7
 
+#: The reference analysis workload for ``--analyze``: the scaled Play
+#: corpus the acceptance gate runs (classifier + redirect scan per app).
+DEFAULT_APPS = 100000
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -85,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "purpose: pool startup is the cost under test)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes in --serve mode")
+    parser.add_argument("--analyze", action="store_true",
+                        help="benchmark the sharded measurement pipeline "
+                             "(apps/s) instead of the install engine")
+    parser.add_argument("--apps", type=int, default=DEFAULT_APPS,
+                        help="scaled Play-corpus size in --analyze mode")
     return parser
 
 
@@ -101,6 +110,24 @@ def time_fleet(spec: CampaignSpec, shards: int, backend: str,
             raise ReproError(
                 f"benchmark fleet ran {report.stats.runs} installs, "
                 f"expected {spec.installs}")
+    return runs
+
+
+def time_analysis(apps: int, shards: int, backend: str, seed: int,
+                  repeat: int) -> list:
+    """Best-of-N timing of the sharded analysis pipeline."""
+    from repro.analysis.pipeline import AnalysisSpec, run_analysis
+
+    spec = AnalysisSpec(corpus="play", apps=apps, seed=seed)
+    runs = []
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        report = run_analysis(spec, shards=shards, backend=backend)
+        runs.append(time.perf_counter() - started)
+        if report.stats.runs != apps:
+            raise ReproError(
+                f"benchmark analysis covered {report.stats.runs} apps, "
+                f"expected {apps}")
     return runs
 
 
@@ -182,21 +209,30 @@ def main(argv=None) -> int:
         return 2
     try:
         spec = CampaignSpec(installs=args.installs, seed=args.seed)
+        if args.analyze:
+            bench_name, unit, size = "analysis", "apps", args.apps
+        else:
+            bench_name, unit, size = "fleet", "installs", args.installs
         lines = []
         if args.write or args.compare or args.trace or args.profile:
             lines.append(
-                f"bench fleet: {args.installs} installs, "
+                f"bench {bench_name}: {size} {unit}, "
                 f"{args.shards} shard(s), "
                 f"backend={args.backend}, seed={args.seed}")
         exit_code = 0
         if args.write or args.compare:
-            runs = time_fleet(spec, args.shards, args.backend, args.repeat)
+            if args.analyze:
+                runs = time_analysis(args.apps, args.shards, args.backend,
+                                     args.seed, args.repeat)
+            else:
+                runs = time_fleet(spec, args.shards, args.backend,
+                                  args.repeat)
             best = min(runs)
             measured = best * (1.0 + args.inject_slowdown)
             lines += [
                 "  runs     : " + ", ".join(f"{run:.3f}s" for run in runs),
                 f"  best     : {best:.3f}s "
-                f"({args.installs / best:.0f} installs/s)",
+                f"({size / best:.0f} {unit}/s)",
             ]
         if args.inject_slowdown and (args.write or args.compare):
             lines.append(
@@ -204,26 +240,26 @@ def main(argv=None) -> int:
                 f"synthetic slowdown -> {measured:.3f}s")
         if args.write:
             baseline = BenchBaseline(
-                name="fleet",
-                installs=args.installs,
+                name=bench_name,
+                installs=size,
                 shards=args.shards,
                 backend=args.backend,
                 repeats=args.repeat,
                 wall_seconds=measured,
-                throughput=args.installs / measured,
+                throughput=size / measured,
                 runs=[round(run, 6) for run in runs],
-                meta={"seed": args.seed},
+                meta={"seed": args.seed, "unit": unit},
             )
             save_baseline(args.write, baseline)
             lines.append(f"  baseline : wrote {args.write}")
         elif args.compare:
             baseline = load_baseline(args.compare)
-            if (baseline.installs, baseline.shards) != (args.installs,
-                                                        args.shards):
+            if (baseline.installs, baseline.shards) != (size, args.shards):
                 raise ReproError(
                     f"baseline {args.compare} measured "
-                    f"{baseline.installs} installs / {baseline.shards} "
-                    f"shard(s); rerun with matching --installs/--shards")
+                    f"{baseline.installs} {unit} / {baseline.shards} "
+                    f"shard(s); rerun with matching "
+                    f"--{unit}/--shards")
             gate = regression_gate(baseline, measured,
                                    threshold=args.threshold)
             lines.append(gate.render(name=baseline.name))
