@@ -24,8 +24,19 @@ Commands
   crash-safe job journal): ``repro serve --state-dir .repro-serve``.
 - ``submit``   — enqueue a campaign (or ``--case`` fuzz case) on a
   running daemon; ``--wait`` streams progress until it finishes.
-- ``jobs``     — list the daemon's jobs and health counters.
+- ``jobs``     — list the daemon's jobs and health counters
+  (``--follow`` re-renders until interrupted).
 - ``watch``    — stream one job's shard-completion frames live.
+- ``metrics``  — Prometheus text exposition: scrape a running daemon
+  (``repro metrics --serve``) or render a finished job's stored
+  telemetry offline (``repro metrics --job ID``).
+- ``top``      — live ops view over the daemon: health, queue depth,
+  per-job shard rates and ETAs, refreshed every ``--interval``.
+
+``fleet`` and ``analyze`` accept ``--telemetry`` (per-shard wall-clock
+CPU/RSS accounting, reported beside the deterministic output) and
+``--profile-shards`` (cProfile per shard, merged into one hotspot
+table under ``benchmarks/results/``).
 
 Every simulation command accepts ``--seed`` for reproducible runs; the
 ``trace`` family is a pure function of its input files, so its output
@@ -204,6 +215,28 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_profile(args: argparse.Namespace, report, command: str) -> None:
+    """Write the merged shard-profile hotspot table, if one was asked for.
+
+    The table lands in ``benchmarks/results/`` next to the bench
+    baselines; the path note goes to stderr so profiled runs keep
+    their stdout contract.
+    """
+    if not args.profile_shards:
+        return
+    from pathlib import Path
+
+    from repro.obs.runtime import write_hotspots
+
+    blobs = [shard.profile for shard in report.shards
+             if getattr(shard, "profile", None)]
+    out = args.profile_out or str(
+        Path("benchmarks") / "results" / f"HOTSPOTS_{command}.txt")
+    path = write_hotspots(out, blobs)
+    print(f"profile: {len(blobs)} shard profile(s) -> {path}",
+          file=sys.stderr)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.engine import (
         CampaignSpec,
@@ -253,8 +286,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         progress=progress,
         checkpoint=checkpoint,
+        telemetry=args.telemetry,
+        profile_shards=args.profile_shards,
     )
     print(report.render())
+    _emit_profile(args, report, "fleet")
     if args.trace:
         count = write_trace_jsonl(args.trace, report.trace_records())
         print(f"trace: {count} record(s) -> {args.trace}", file=sys.stderr)
@@ -296,14 +332,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         progress=progress,
+        telemetry=args.telemetry,
+        profile_shards=args.profile_shards,
     )
     # Stdout carries only the deterministic tables (CI byte-compares
-    # it across shard/worker splits); wall-clock and cache-state lines
-    # go to stderr.
+    # it across shard/worker splits); wall-clock, telemetry and
+    # cache-state lines go to stderr.
     print(report.render())
     print(f"wall: {report.wall_seconds:.2f}s "
           f"({report.throughput:.0f}/s, workers={report.workers}, "
           f"backend={report.backend})", file=sys.stderr)
+    if args.telemetry and report.telemetry:
+        from repro.obs.runtime import TelemetryRollup
+
+        print("telemetry: "
+              + TelemetryRollup.from_dict(report.telemetry).render(),
+              file=sys.stderr)
+    _emit_profile(args, report, "analyze")
     if args.cache:
         print(f"cache: {report.cache_hits} hit(s), "
               f"{report.cache_misses} analyzed", file=sys.stderr)
@@ -449,11 +494,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if final["state"] == "done" else 1
 
 
-def _cmd_jobs(args: argparse.Namespace) -> int:
-    listing = _client_of(args).jobs()
-    for job in listing["jobs"]:
-        _print_job_line(job)
-    health = listing["health"]
+def _print_health(health: dict) -> None:
     print(f"health: queue={health['queue_depth']} "
           f"running={health['running'] or '-'} "
           f"workers={health['workers']} backend={health['backend']} "
@@ -461,7 +502,120 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
           f"failed={health['jobs_failed']} "
           f"restarts={health['worker_restarts']} "
           f"uptime={health['uptime_s']}s")
+    states = health.get("jobs_by_state") or {}
+    if states:
+        from repro.serve.protocol import JOB_STATES
+
+        rendered = " ".join(f"{state}={states.get(state, 0)}"
+                            for state in JOB_STATES)
+        print(f"  jobs by state: {rendered}")
+    pids = health.get("worker_pids") or {}
+    if pids:
+        rendered = " ".join(f"{slot}:{pid}"
+                            for slot, pid in sorted(pids.items()))
+        print(f"  warm workers : {rendered}")
+    if health.get("telemetry"):
+        from repro.obs.runtime import TelemetryRollup
+
+        rollup = TelemetryRollup.from_dict(health["telemetry"])
+        print(f"  telemetry    : {rollup.render()}")
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import time
+
+    client = _client_of(args)
+    try:
+        while True:
+            listing = client.jobs()
+            for job in listing["jobs"]:
+                _print_job_line(job)
+            _print_health(listing["health"])
+            if not args.follow:
+                return 0
+            sys.stdout.flush()
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.runtime import render_prometheus, validate_exposition
+
+    if args.job:
+        # Offline: render the job's stored telemetry rollup without a
+        # daemon round trip (works after the service has shut down).
+        import json
+
+        from repro.errors import ReproError
+        from repro.serve.checkpoint import JobStore
+
+        path = JobStore(args.state_dir).result_path(args.job)
+        if not path.exists():
+            raise ReproError(
+                f"job {args.job} has no stored result at {path} "
+                f"(not finished yet?)")
+        result = json.loads(path.read_text(encoding="utf-8"))
+        telemetry = result.get("telemetry")
+        if not telemetry:
+            raise ReproError(
+                f"job {args.job} carries no telemetry (daemon ran "
+                f"with telemetry disabled?)")
+        text = render_prometheus(job_rollups={args.job: telemetry})
+    else:
+        # Default (and explicit --serve): scrape the live daemon.
+        text = _client_of(args).metrics()
+    count = validate_exposition(text)
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    print(f"metrics: {count} valid sample(s)", file=sys.stderr)
     return 0
+
+
+def _rate_line(job: dict, prev: dict, now: float) -> str:
+    """Shard-rate / ETA suffix for a running job's ``top`` row."""
+    done, total = job.get("progress") or (0, 0)
+    seen = prev.get(job["job_id"])
+    prev[job["job_id"]] = (done, now)
+    if job["state"] != "running" or not seen:
+        return ""
+    prev_done, prev_at = seen
+    elapsed = now - prev_at
+    if elapsed <= 0 or done <= prev_done:
+        return ""
+    rate = (done - prev_done) / elapsed
+    eta = (total - done) / rate if rate > 0 else 0.0
+    return f"  {rate:.2f} shard/s  eta {eta:.0f}s"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    client = _client_of(args)
+    prev: dict = {}
+    frame = 0
+    try:
+        while True:
+            listing = client.jobs()
+            now = time.monotonic()
+            if sys.stdout.isatty():  # pragma: no cover - interactive
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(f"repro top — frame {frame + 1}")
+            _print_health(listing["health"])
+            for job in listing["jobs"]:
+                done, total = job.get("progress") or (0, 0)
+                progress = f"{done}/{total}" if total else "-"
+                label = f"  [{job['label']}]" if job.get("label") else ""
+                print(f"  {job['job_id']}  {job['state']:<9} "
+                      f"{job['kind']:<8} shards {progress}"
+                      f"{_rate_line(job, prev, now)}{label}")
+            frame += 1
+            if args.iterations and frame >= args.iterations:
+                return 0
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -522,6 +676,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(render_diff(diff, max_detail=args.max_detail))
         return 0 if diff.empty else 1
     return 0
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Wall-clock accounting flags shared by ``fleet`` and ``analyze``."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="sample per-shard CPU/RSS/wall usage and "
+                             "report the rollup beside the "
+                             "deterministic output")
+    parser.add_argument("--profile-shards", action="store_true",
+                        help="cProfile every shard and merge the stats "
+                             "into one hotspot table under "
+                             "benchmarks/results/")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="hotspot table path (default: "
+                             "benchmarks/results/HOTSPOTS_<cmd>.txt)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -595,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(requires an explicit --shards)")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
+    _add_telemetry_flags(fleet)
 
     from repro.analysis.pipeline import ANALYSIS_CORPORA
 
@@ -624,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(crash:|hang:|error: + shard indices)")
     analyze.add_argument("--quiet", action="store_true",
                          help="suppress progress lines")
+    _add_telemetry_flags(analyze)
 
     from repro.fuzz.oracles import oracle_names
 
@@ -712,8 +883,30 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--wait", action="store_true",
                         help="stream progress until the job finishes")
 
-    sub.add_parser("jobs", parents=[serve_common],
-                   help="list the daemon's jobs and health")
+    jobs = sub.add_parser("jobs", parents=[serve_common],
+                          help="list the daemon's jobs and health")
+    jobs.add_argument("--follow", action="store_true",
+                      help="re-render the listing until interrupted")
+    jobs.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between --follow refreshes")
+
+    metrics = sub.add_parser(
+        "metrics", parents=[serve_common],
+        help="Prometheus text exposition from the daemon or a job")
+    metrics.add_argument("--serve", action="store_true",
+                         help="scrape the running daemon (the default "
+                              "when --job is not given)")
+    metrics.add_argument("--job", metavar="ID", default=None,
+                         help="render this finished job's stored "
+                              "telemetry offline instead of scraping")
+
+    top = sub.add_parser(
+        "top", parents=[serve_common],
+        help="live ops view: health, queue, per-job rates and ETAs")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N frames (0: until interrupted)")
 
     watch = sub.add_parser(
         "watch", parents=[serve_common],
@@ -780,6 +973,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_submit(args)
         if args.command == "jobs":
             return _cmd_jobs(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "watch":
             return _cmd_watch(args)
         if args.command == "trace":

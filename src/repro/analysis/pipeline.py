@@ -583,6 +583,11 @@ class AnalysisShardResult:
     metrics: Optional[Snapshot] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Wall-clock side channel (see :mod:`repro.obs.runtime`), filled
+    #: by the executor when telemetry/profiling is enabled; never part
+    #: of the deterministic stats/trace/metrics.
+    telemetry: Optional[Dict[str, Any]] = None
+    profile: Optional[bytes] = None
 
 
 # ---------------------------------------------------------------------------
@@ -602,6 +607,9 @@ class AnalysisReport:
     backend: str = "serial"
     metrics: Optional[Snapshot] = None
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock plane: fold of per-shard telemetry payloads, None
+    #: when telemetry was off (see :mod:`repro.obs.runtime`).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_shards(cls, spec: AnalysisSpec,
@@ -609,12 +617,18 @@ class AnalysisReport:
                     wall_seconds: float, workers: int, backend: str,
                     counters: Optional[Dict[str, int]] = None,
                     ) -> "AnalysisReport":
+        from repro.obs.runtime import fold_shard_telemetry
+
         ordered = sorted(shards, key=lambda shard: shard.shard_index)
         snapshots = [shard.metrics for shard in ordered
                      if shard.metrics is not None]
         tallied = dict(counters or {})
         tallied["cache_hits"] = sum(s.cache_hits for s in ordered)
         tallied["cache_misses"] = sum(s.cache_misses for s in ordered)
+        telemetry = fold_shard_telemetry(ordered)
+        if telemetry is not None:
+            telemetry["retries"] = sum(
+                max(0, shard.attempts - 1) for shard in ordered)
         return cls(
             spec=spec,
             shards=ordered,
@@ -624,6 +638,7 @@ class AnalysisReport:
             backend=backend,
             metrics=merge_snapshots(snapshots) if snapshots else None,
             counters=tallied,
+            telemetry=telemetry,
         )
 
     @property
@@ -804,18 +819,23 @@ def table5_counts(stats: AnalysisStats) -> Dict[str, Dict[str, int]]:
 
 def run_analysis(spec: AnalysisSpec, shards: Optional[int] = None,
                  workers: Optional[int] = None, backend: str = "auto",
-                 progress=None) -> AnalysisReport:
+                 progress=None, telemetry: bool = False,
+                 profile_shards: bool = False) -> AnalysisReport:
     """Run a sharded analysis and return the merged report.
 
     A thin wrapper over :class:`~repro.engine.executor.FleetExecutor`
-    — the analysis workload rides the same pool, retry, chaos and
-    progress machinery as install campaigns.
+    — the analysis workload rides the same pool, retry, chaos,
+    progress and wall-clock telemetry machinery as install campaigns
+    (``telemetry``/``profile_shards`` as in
+    :func:`repro.engine.executor.run_fleet`).
     """
     from repro.engine.executor import FleetExecutor
     from repro.engine.progress import NullProgress
 
     executor = FleetExecutor(workers=workers, backend=backend,
-                             progress=progress or NullProgress())
+                             progress=progress or NullProgress(),
+                             telemetry=telemetry,
+                             profile_shards=profile_shards)
     try:
         return executor.run(spec, shards=shards)
     finally:

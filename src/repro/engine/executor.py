@@ -63,8 +63,48 @@ def default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
-def run_shard(shard: ShardSpec) -> ShardResult:
+def run_shard(shard: ShardSpec, telemetry: bool = False,
+              profile: bool = False) -> ShardResult:
     """Execute one shard in this process (the serial backend's unit).
+
+    With ``telemetry=True`` the execution is bracketed by a
+    :class:`repro.obs.runtime.TelemetryProbe` (rusage + perf_counter_ns)
+    and the result carries a ``telemetry`` payload on the wall-clock
+    side channel; with ``profile=True`` it additionally runs under
+    cProfile and carries the marshaled profile blob.  Both default off,
+    and the disabled path makes zero extra clock/rusage calls (pinned
+    by ``tests/engine/test_telemetry.py``).  Neither ever touches the
+    shard's deterministic stats/trace/metrics.
+    """
+    if not (telemetry or profile):
+        return _execute_shard(shard)
+    probe = None
+    profiler = None
+    if telemetry:
+        from repro.obs.runtime import TelemetryProbe
+
+        probe = TelemetryProbe.start()
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = _execute_shard(shard)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if probe is not None:
+        result.telemetry = probe.finish(shard.index).to_dict()
+    if profiler is not None:
+        from repro.obs.runtime import profile_blob
+
+        result.profile = profile_blob(profiler)
+    return result
+
+
+def _execute_shard(shard: ShardSpec) -> ShardResult:
+    """The untelemetered core of :func:`run_shard`.
 
     Provisions a fresh device from the shard spec, publishes the
     shard's slice of the global workload, runs the installs, and
@@ -114,7 +154,8 @@ def _chaos_indices(spec: CampaignSpec, mode: str) -> Set[int]:
     return set(indices)
 
 
-def _shard_entry(result_queue, shard: ShardSpec) -> None:
+def _shard_entry(result_queue, shard: ShardSpec, telemetry: bool = False,
+                 profile: bool = False) -> None:
     """Worker-process entry point.
 
     Failure injection (``spec.chaos``) lives here on purpose: only
@@ -127,7 +168,7 @@ def _shard_entry(result_queue, shard: ShardSpec) -> None:
             time.sleep(3600)
         if shard.index in _chaos_indices(shard.campaign, "error"):
             raise RuntimeError(f"injected error in shard {shard.index}")
-        result = run_shard(shard)
+        result = run_shard(shard, telemetry=telemetry, profile=profile)
         result.backend = "process"
         result_queue.put((shard.index, _OK, result))
     except BaseException as exc:  # pragma: no cover - depends on failure mode
@@ -234,7 +275,8 @@ def _warm_worker_entry(slot: int, task_queue, result_queue) -> None:
             continue
         if task is None:
             break
-        ticket, shard = task
+        ticket, shard = task[0], task[1]
+        telemetry, profile = task[2] if len(task) > 2 else (False, False)
         try:
             if shard.index in _chaos_indices(shard.campaign, "crash"):
                 os._exit(13)
@@ -242,7 +284,7 @@ def _warm_worker_entry(slot: int, task_queue, result_queue) -> None:
                 time.sleep(3600)
             if shard.index in _chaos_indices(shard.campaign, "error"):
                 raise RuntimeError(f"injected error in shard {shard.index}")
-            result = run_shard(shard)
+            result = run_shard(shard, telemetry=telemetry, profile=profile)
             result.backend = "warm"
             result_queue.put((slot, ticket, _OK, result))
         except BaseException as exc:  # pragma: no cover - failure-mode paths
@@ -379,14 +421,21 @@ class WarmPool:
 
     # -- scheduling ------------------------------------------------------------
 
-    def submit(self, ticket: int, shard: ShardSpec) -> None:
-        """Hand ``shard`` to an idle worker under key ``ticket``."""
+    def submit(self, ticket: int, shard: ShardSpec, telemetry: bool = False,
+               profile: bool = False) -> None:
+        """Hand ``shard`` to an idle worker under key ``ticket``.
+
+        ``telemetry``/``profile`` ride along as a flags tuple so the
+        worker brackets execution with the rusage probe / cProfile
+        (see :func:`run_shard`); both default off.
+        """
         if self._closed:
             raise ReproError("warm pool is closed")
         if not self._idle:
             raise ReproError("no idle warm worker; poll() first")
         slot = self._idle.pop()
-        self._workers[slot].task_queue.put((ticket, shard))
+        self._workers[slot].task_queue.put(
+            (ticket, shard, (telemetry, profile)))
         self._running[ticket] = (slot, time.monotonic(), shard)
 
     def poll(self, timeout: float = _IDLE_WAIT_SECONDS
@@ -467,7 +516,8 @@ class FleetExecutor:
     def __init__(self, workers: Optional[int] = None, backend: str = "auto",
                  shard_timeout: Optional[float] = None, max_retries: int = 2,
                  progress: Optional[FleetProgress] = None,
-                 warm: bool = False) -> None:
+                 warm: bool = False, telemetry: bool = False,
+                 profile_shards: bool = False) -> None:
         if backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {backend!r}; valid: {BACKENDS}")
@@ -484,6 +534,11 @@ class FleetExecutor:
         #: (the serve daemon's mode).  The pool is created lazily on the
         #: first pooled run and must be released with :meth:`close`.
         self.warm = warm
+        #: Wall-clock plane switches (see :mod:`repro.obs.runtime`):
+        #: both default off, and the off path adds zero clock/rusage
+        #: calls to shard execution.
+        self.telemetry = telemetry
+        self.profile_shards = profile_shards
         self._pool: Optional[WarmPool] = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -600,7 +655,8 @@ class FleetExecutor:
             counters["fallbacks"] += 1
             attempts[shard.index] += 1
             self.progress.on_shard_start(shard, attempts[shard.index])
-            result = run_shard(shard)
+            result = run_shard(shard, telemetry=self.telemetry,
+                               profile=self.profile_shards)
             result.attempts = attempts[shard.index]
             result.backend = "serial-fallback"
             self._finish(result, results, total, on_result)
@@ -612,7 +668,8 @@ class FleetExecutor:
                     on_result=None) -> None:
         for shard in shard_specs:
             self.progress.on_shard_start(shard, 1)
-            result = run_shard(shard)
+            result = run_shard(shard, telemetry=self.telemetry,
+                               profile=self.profile_shards)
             self._finish(result, results, total, on_result)
 
     # -- process backend (cold pool) ------------------------------------------
@@ -657,7 +714,8 @@ class FleetExecutor:
                                                  attempts[shard.index])
                     process = context.Process(
                         target=_shard_entry,
-                        args=(result_queue, shard),
+                        args=(result_queue, shard, self.telemetry,
+                              self.profile_shards),
                         name=f"fleet-shard-{shard.index}",
                         daemon=True,
                     )
@@ -700,7 +758,8 @@ class FleetExecutor:
                 shard = pending.popleft()
                 attempts[shard.index] += 1
                 self.progress.on_shard_start(shard, attempts[shard.index])
-                pool.submit(shard.index, shard)
+                pool.submit(shard.index, shard, telemetry=self.telemetry,
+                            profile=self.profile_shards)
             events = pool.poll(self._warm_wait_timeout(pool))
             events += pool.reap_timeouts(self.shard_timeout)
             for ticket, status, payload in events:
@@ -784,7 +843,8 @@ def run_fleet(spec: CampaignSpec, shards: Optional[int] = None,
               workers: Optional[int] = None, backend: str = "auto",
               shard_timeout: Optional[float] = None, max_retries: int = 2,
               progress: Optional[FleetProgress] = None,
-              checkpoint=None) -> FleetReport:
+              checkpoint=None, telemetry: bool = False,
+              profile_shards: bool = False) -> FleetReport:
     """One-call fleet execution (the ``python -m repro fleet`` engine)."""
     with FleetExecutor(
         workers=workers,
@@ -792,5 +852,7 @@ def run_fleet(spec: CampaignSpec, shards: Optional[int] = None,
         shard_timeout=shard_timeout,
         max_retries=max_retries,
         progress=progress,
+        telemetry=telemetry,
+        profile_shards=profile_shards,
     ) as executor:
         return executor.run(spec, shards=shards, checkpoint=checkpoint)

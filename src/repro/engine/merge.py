@@ -97,6 +97,12 @@ class ShardResult:
     backend: str = "process"
     trace: Optional[List[Dict[str, Any]]] = None
     metrics: Optional[Snapshot] = None
+    #: Wall-clock plane only (see :mod:`repro.obs.runtime`): a
+    #: ``ShardTelemetry.to_dict()`` payload when the run had telemetry
+    #: enabled, and an optional marshaled cProfile blob.  Neither ever
+    #: feeds the deterministic merge above.
+    telemetry: Optional[Dict[str, Any]] = None
+    profile: Optional[bytes] = None
 
 
 @dataclass
@@ -118,15 +124,26 @@ class FleetReport:
     backend: str = "serial"
     metrics: Optional[Snapshot] = None
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock plane: the associative fold of per-shard telemetry
+    #: (:func:`repro.obs.runtime.fold_shard_telemetry`), None when the
+    #: run had telemetry disabled.  Reported beside the deterministic
+    #: stats/metrics, never inside them.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_shards(cls, spec: CampaignSpec, shards: List[ShardResult],
                     wall_seconds: float, workers: int, backend: str,
                     counters: Optional[Dict[str, int]] = None,
                     ) -> "FleetReport":
+        from repro.obs.runtime import fold_shard_telemetry
+
         ordered = sorted(shards, key=lambda shard: shard.shard_index)
         snapshots = [shard.metrics for shard in ordered
                      if shard.metrics is not None]
+        telemetry = fold_shard_telemetry(ordered)
+        if telemetry is not None:
+            telemetry["retries"] = sum(
+                max(0, shard.attempts - 1) for shard in ordered)
         return cls(
             spec=spec,
             shards=ordered,
@@ -136,6 +153,7 @@ class FleetReport:
             backend=backend,
             metrics=merge_snapshots(snapshots) if snapshots else None,
             counters=dict(counters or {}),
+            telemetry=telemetry,
         )
 
     def trace_records(self) -> List[Dict[str, Any]]:
@@ -209,6 +227,11 @@ class FleetReport:
             f"  shard time : min {tmin:.2f}s / mean {tmean:.2f}s / "
             f"max {tmax:.2f}s" + (f"  ({retried} retried)" if retried else ""),
         ]
+        if self.telemetry:
+            from repro.obs.runtime import TelemetryRollup
+
+            lines.append("  telemetry  : "
+                         + TelemetryRollup.from_dict(self.telemetry).render())
         if self.counters.get("restored"):
             lines.append(
                 f"  resumed    : {self.counters['restored']} shard(s) "

@@ -84,6 +84,7 @@ class MetricsProgress(FleetProgress):
         self.shards_done = 0
         self.retries = 0
         self.throughputs: list = []  # installs/s per finished shard
+        self.telemetry = None  # TelemetryRollup once a result carries one
 
     def on_shard_start(self, shard, attempt) -> None:
         self.shards_started += 1
@@ -92,9 +93,18 @@ class MetricsProgress(FleetProgress):
         self.shards_done += 1
         if result.wall_seconds > 0:
             self.throughputs.append(result.stats.runs / result.wall_seconds)
+        payload = getattr(result, "telemetry", None)
+        if payload:
+            if self.telemetry is None:
+                from repro.obs.runtime import TelemetryRollup
+
+                self.telemetry = TelemetryRollup()
+            self.telemetry.add(payload)
 
     def on_shard_retry(self, shard, attempt, reason) -> None:
         self.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.retries += 1
 
     def render(self) -> str:
         """One-line engine summary (wall-clock plane)."""
@@ -106,9 +116,12 @@ class MetricsProgress(FleetProgress):
                           f"mean {mean:.0f} / max {hi:.0f}")
         else:
             shard_rate = "no shard throughput recorded"
-        return (f"engine: {self.shards_started} shard start(s), "
+        line = (f"engine: {self.shards_started} shard start(s), "
                 f"{self.shards_done} done, {self.retries} retried; "
                 f"{shard_rate}")
+        if self.telemetry is not None:
+            line += f"\nengine: telemetry {self.telemetry.render()}"
+        return line
 
 
 class ConsoleProgress(FleetProgress):

@@ -1,6 +1,6 @@
 """Observability: tracing, metrics, and trace forensics for the stack.
 
-Five pieces, threaded through the simulator, the core scenario layer,
+Six pieces, threaded through the simulator, the core scenario layer,
 the defenses and the fleet engine:
 
 - :mod:`repro.obs.trace` — span/event recording keyed on *simulated*
@@ -15,7 +15,10 @@ the defenses and the fleet engine:
   armed→strike race-window distribution split by hijack outcome, and
   structural trace diffing (the ``repro trace`` CLI family),
 - :mod:`repro.obs.baseline` — ``BENCH_*.json`` perf baselines and the
-  wall-clock regression gate behind ``tools/bench.py``.
+  wall-clock regression gate behind ``tools/bench.py``,
+- :mod:`repro.obs.runtime` — the wall-clock plane: per-shard
+  rusage/RSS telemetry with associative rollups, the daemon flight
+  recorder, Prometheus text exposition, and merged shard profiling.
 
 The determinism contract of :mod:`repro.engine` extends here: for a
 fixed seed, a shard's exported trace is byte-identical across runs,
@@ -73,12 +76,28 @@ from repro.obs.metrics import (
     summary_percentile,
     summary_percentiles,
 )
+from repro.obs.runtime import (
+    FlightRecorder,
+    ShardTelemetry,
+    TelemetryProbe,
+    TelemetryRollup,
+    fold_shard_telemetry,
+    host_metadata,
+    merged_hotspots,
+    profile_blob,
+    prometheus_name,
+    render_prometheus,
+    telemetry_available,
+    validate_exposition,
+    write_hotspots,
+)
 from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
 
 __all__ = [
     "NULL_RECORDER",
     "BenchBaseline",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "GateResult",
     "Histogram",
@@ -87,7 +106,10 @@ __all__ = [
     "NullRecorder",
     "PathStep",
     "RecordDelta",
+    "ShardTelemetry",
     "SpanNode",
+    "TelemetryProbe",
+    "TelemetryRollup",
     "TraceDiff",
     "TraceProfile",
     "TraceRecorder",
@@ -99,25 +121,34 @@ __all__ = [
     "critical_path",
     "diff_traces",
     "empty_snapshot",
+    "fold_shard_telemetry",
+    "host_metadata",
     "iter_trace_jsonl",
     "layer_of",
     "load_baseline",
     "load_trace_jsonl",
     "merge_snapshots",
+    "merged_hotspots",
+    "profile_blob",
     "profile_trace",
+    "prometheus_name",
     "regression_gate",
     "render_critical_path",
     "render_diff",
     "render_metrics",
     "render_profile",
+    "render_prometheus",
     "render_trace_summary",
     "render_windows",
     "save_baseline",
     "snapshot_names",
     "summary_percentile",
     "summary_percentiles",
+    "telemetry_available",
     "trace_to_jsonl",
+    "validate_exposition",
     "validate_records",
     "window_forensics",
+    "write_hotspots",
     "write_trace_jsonl",
 ]

@@ -224,6 +224,16 @@ class JobStore:
         """Where ``repro serve`` listens unless told otherwise."""
         return self.state_dir / "serve.sock"
 
+    def flight_path(self) -> Path:
+        """The daemon flight recorder's JSONL sidecar.
+
+        File-backed so the ops-event ring survives a SIGKILL: the
+        restarted daemon reloads it and still knows what its
+        predecessor was doing (see
+        :class:`repro.obs.runtime.FlightRecorder`).
+        """
+        return self.state_dir / "flight.jsonl"
+
     def job_dir(self, job_id: str) -> Path:
         """Per-job artifact directory (created on demand)."""
         if not job_id or "/" in job_id or job_id.startswith("."):

@@ -125,6 +125,14 @@ class ServeClient:
         """Where the job's archived trace lives (path + existence)."""
         return self._request(job_request("trace", job_id))
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``metrics`` op)."""
+        return self._request(plain_request("metrics"))["exposition"]
+
+    def flight(self) -> Dict[str, Any]:
+        """The daemon's flight-recorder ring (``flight`` op)."""
+        return self._request(plain_request("flight"))["flight"]
+
     def shutdown(self) -> None:
         """Ask the daemon to drain and stop."""
         self._request(plain_request("shutdown"))

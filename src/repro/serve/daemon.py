@@ -34,6 +34,11 @@ from repro.engine.spec import CampaignSpec
 from repro.errors import ReproError
 from repro.obs.export import write_trace_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    FlightRecorder,
+    TelemetryRollup,
+    render_prometheus,
+)
 from repro.serve.checkpoint import JobStore, ShardJournal
 from repro.serve.protocol import (
     Submission,
@@ -92,12 +97,23 @@ class CampaignService:
 
     def __init__(self, state_dir, workers: Optional[int] = None,
                  backend: str = "auto", seed: int = 0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 telemetry: bool = True) -> None:
         self.store = JobStore(state_dir)
         self.queue = JobQueue(seed)
+        #: Shard workers sample rusage/perf_counter_ns around each
+        #: shard by default in service mode: the daemon is exactly the
+        #: long-lived operational context the telemetry plane exists
+        #: for.  ``telemetry=False`` restores the zero-overhead path.
+        self.telemetry = telemetry
         self.executor = FleetExecutor(workers=workers, backend=backend,
-                                      warm=True)
+                                      warm=True, telemetry=telemetry)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Bounded ops-event ring, file-backed in the state dir so the
+        #: recent event history survives a SIGKILL/restart cycle.
+        self.flight = FlightRecorder(path=self.store.flight_path())
+        self._rollup = TelemetryRollup()
+        self._job_rollups: Dict[str, TelemetryRollup] = {}
         self._lock = threading.RLock()
         self._listeners: Dict[str, List[Callable[[Dict[str, Any]], None]]] = {}
         self._started_at = time.monotonic()
@@ -154,6 +170,8 @@ class CampaignService:
                 requeued += 1
             if requeued:
                 self.metrics.counter("serve/jobs_recovered").inc(requeued)
+            self.flight.record("recover", requeued=requeued,
+                               finished=len(ends))
         return requeued
 
     # -- submission / queue management -----------------------------------------
@@ -179,7 +197,11 @@ class CampaignService:
                 "spec": job.spec.to_json_dict(),
             })
             self.metrics.counter("serve/jobs_submitted").inc()
-            self.metrics.gauge("serve/queue_depth").set(self.queue.depth())
+            self.metrics.gauge("serve/queue_depth_peak").set(
+                self.queue.depth())
+            job.submitted_at = time.monotonic()
+            self.flight.record("submit", job=job.job_id, job_kind=job.kind,
+                               priority=job.priority)
         if self.on_submit is not None:
             self.on_submit()
         return job
@@ -187,7 +209,11 @@ class CampaignService:
     def try_pop(self) -> Optional[Job]:
         """Claim the next queued job for execution, if any."""
         with self._lock:
-            return self.queue.pop()
+            job = self.queue.pop()
+            if job is not None:
+                self.flight.record("schedule", job=job.job_id,
+                                   queue_depth=self.queue.depth())
+            return job
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a queued job (journaled like any terminal state)."""
@@ -195,6 +221,7 @@ class CampaignService:
             job = self.queue.cancel(job_id)
             self._journal_end(job)
             self.metrics.counter("serve/jobs_cancelled").inc()
+            self.flight.record("cancel", job=job.job_id)
             self._publish(job.job_id,
                           event_frame("cancelled", job=job.to_dict()))
         return job
@@ -224,6 +251,18 @@ class CampaignService:
         journal = ShardJournal(self.store.checkpoint_dir(job.job_id),
                                spec, shard_count)
         restarts_before = self.pool_restarts()
+        queue_wait = (max(0.0, time.monotonic() - job.submitted_at)
+                      if job.submitted_at else 0.0)
+        with self._lock:
+            self.metrics.gauge("serve/queue_depth_peak").set(
+                self.queue.depth())
+            self.flight.record("start", job=job.job_id, shards=shard_count,
+                               queue_wait_s=round(queue_wait, 3))
+            if self.telemetry:
+                rollup = self._job_rollups.setdefault(job.job_id,
+                                                      TelemetryRollup())
+                rollup.queue_wait_s += queue_wait
+                self._rollup.queue_wait_s += queue_wait
         self.executor.progress = _JobProgress(self, job)
         try:
             report = self.executor.run(spec, shards=shard_count,
@@ -235,6 +274,7 @@ class CampaignService:
                 self._journal_end(job)
                 self.metrics.counter("serve/jobs_failed").inc()
                 self._account_restarts(restarts_before)
+                self.flight.record("crash", job=job.job_id, error=job.error)
                 self._publish(job.job_id,
                               event_frame("failed", job=job.to_dict()))
             return
@@ -251,6 +291,7 @@ class CampaignService:
                 "state": job.state,
                 "stats": job.summary,
                 "counters": job.counters,
+                "telemetry": job.telemetry,
                 "shards": len(report.shards),
                 "workers": report.workers,
                 "backend": report.backend,
@@ -260,6 +301,9 @@ class CampaignService:
             self._journal_end(job)
             self.metrics.counter("serve/jobs_completed").inc()
             self._account_restarts(restarts_before)
+            self.flight.record("finish", job=job.job_id,
+                               shards=len(report.shards),
+                               wall_s=round(report.wall_seconds, 3))
             self._publish(job.job_id, event_frame("done", job=job.to_dict()))
 
     def _journal_end(self, job: Job) -> None:
@@ -287,6 +331,24 @@ class CampaignService:
         with self._lock:
             job.progress = (done, total)
             self.metrics.counter("serve/shards_completed").inc()
+            payload = getattr(result, "telemetry", None)
+            if payload:
+                rollup = self._job_rollups.setdefault(job.job_id,
+                                                      TelemetryRollup())
+                rollup.add(payload)
+                self._rollup.add(payload)
+                job.telemetry = rollup.to_dict()
+                self.metrics.histogram("serve/shard_wall_ms").observe(
+                    max(0, int(payload.get("wall_ns", 0)) // 1_000_000))
+                self.metrics.histogram("serve/shard_cpu_ms").observe(
+                    max(0, int((float(payload.get("cpu_user_s", 0.0))
+                                + float(payload.get("cpu_system_s", 0.0)))
+                               * 1000)))
+                self.metrics.histogram("serve/shard_rss_kb").observe(
+                    max(0, int(payload.get("max_rss_kb", 0))))
+            self.flight.record("checkpoint", job=job.job_id,
+                               shard=result.shard_index, done=done,
+                               total=total)
             self._publish(job.job_id, event_frame(
                 "shard",
                 job_id=job.job_id,
@@ -294,6 +356,7 @@ class CampaignService:
                 done=done,
                 total=total,
                 stats=merged_counters,
+                telemetry=payload,
             ))
 
     # -- streaming -------------------------------------------------------------
@@ -338,6 +401,10 @@ class CampaignService:
                              "jobs_recovered", "shards_completed",
                              "worker_restarts")
             }
+            pool = self.executor._pool
+            worker_pids = ({str(slot): pid for slot, pid
+                            in sorted(pool.worker_pids().items())}
+                           if pool is not None and not pool.closed else {})
             return {
                 "ok": True,
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -346,9 +413,58 @@ class CampaignService:
                 "workers": self.executor.workers,
                 "backend": self.executor.backend,
                 "warm_pool": self.executor._pool is not None,
+                "worker_pids": worker_pids,
+                "jobs_by_state": self.queue.by_state(),
+                "telemetry": (self._rollup.to_dict()
+                              if self._rollup.shards else None),
                 "state_dir": str(self.store.state_dir),
                 **counters,
             }
+
+    # -- telemetry exposition --------------------------------------------------
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition (the ``metrics`` op's payload).
+
+        Renders the ``serve/*`` registry (counters, gauges and the
+        per-shard wall/CPU/RSS histograms) plus the wall-clock
+        telemetry rollups, service-wide and per job.  Composed under
+        the service lock so the scrape is a consistent snapshot.
+        """
+        with self._lock:
+            snapshot = self.metrics.snapshot()
+            rollup = (self._rollup.to_dict()
+                      if self._rollup.shards or self._rollup.queue_wait_s
+                      else None)
+            job_rollups = {job_id: fold.to_dict()
+                           for job_id, fold in self._job_rollups.items()
+                           if fold.shards}
+            gauges = {
+                "serve/uptime_seconds":
+                    round(time.monotonic() - self._started_at, 3),
+                "serve/queue_depth": self.queue.depth(),
+                "serve/warm_workers":
+                    len(self.executor._pool.worker_pids())
+                    if (self.executor._pool is not None
+                        and not self.executor._pool.closed) else 0,
+                "serve/flight_events": self.flight.recorded,
+                "serve/flight_dropped": self.flight.dropped,
+            }
+        return render_prometheus(snapshot, rollup=rollup,
+                                 job_rollups=job_rollups, gauges=gauges)
+
+    def flight_snapshot(self) -> Dict[str, Any]:
+        """The flight recorder's ring (the ``flight`` op's payload)."""
+        with self._lock:
+            return self.flight.snapshot()
+
+    def job_telemetry(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job's wall-clock rollup (live or final), if any."""
+        with self._lock:
+            fold = self._job_rollups.get(job_id)
+            if fold is not None and fold.shards:
+                return fold.to_dict()
+            return self.queue.get(job_id).telemetry
 
     def close(self) -> None:
         """Shut the warm pool down deterministically (idempotent)."""
@@ -491,6 +607,12 @@ class ServeDaemon:
             path = self.service.store.trace_path(job.job_id)
             await self._write(writer, ok_response(
                 job_id=job.job_id, path=str(path), exists=path.exists()))
+        elif op == "metrics":
+            await self._write(writer, ok_response(
+                exposition=self.service.prometheus()))
+        elif op == "flight":
+            await self._write(writer, ok_response(
+                flight=self.service.flight_snapshot()))
         elif op == "watch":
             await self._watch(self._job_id(message), writer)
         elif op == "shutdown":
@@ -538,7 +660,7 @@ class ServeDaemon:
 
 def run_daemon(state_dir, socket_path=None, host=None, port=None,
                workers: Optional[int] = None, backend: str = "auto",
-               seed: int = 0,
+               seed: int = 0, telemetry: bool = True,
                on_ready: Optional[Callable[["ServeDaemon"], None]] = None
                ) -> int:
     """Build, recover and run a daemon until shutdown (the CLI engine).
@@ -550,7 +672,7 @@ def run_daemon(state_dir, socket_path=None, host=None, port=None,
     import signal
 
     service = CampaignService(state_dir, workers=workers, backend=backend,
-                              seed=seed)
+                              seed=seed, telemetry=telemetry)
     requeued = service.recover()
     daemon = ServeDaemon(service, socket_path=socket_path, host=host,
                          port=port)

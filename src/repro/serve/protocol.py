@@ -17,8 +17,13 @@ Operations::
     jobs      every known job, submission order
     watch     stream frames as shards land, ending in a terminal frame
     cancel    cancel a queued (not yet running) job
-    health    daemon liveness: uptime, queue depth, pool counters
+    health    daemon liveness: uptime, queue depth, warm-worker PIDs,
+              jobs-by-state counts, pool counters
     trace     where the job's archived trace JSONL lives
+    metrics   the service's counters/gauges/histograms plus wall-clock
+              telemetry rollups as Prometheus text exposition
+    flight    the daemon flight recorder's ring (structured ops events
+              with overflow accounting)
     shutdown  drain and stop the daemon
 
 Campaign specs ride as the canonical dict form from
@@ -43,7 +48,7 @@ PROTOCOL_VERSION = 1
 
 #: Every request operation the daemon dispatches on.
 OPS = ("submit", "status", "jobs", "watch", "cancel", "health", "trace",
-       "shutdown")
+       "metrics", "flight", "shutdown")
 
 #: Job lifecycle states, in the order they can occur.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -127,7 +132,7 @@ def job_request(op: str, job_id: str) -> Dict[str, Any]:
 
 
 def plain_request(op: str) -> Dict[str, Any]:
-    """A request with no operands (jobs/health/shutdown)."""
+    """A request with no operands (jobs/health/metrics/flight/shutdown)."""
     return _base(op)
 
 

@@ -46,6 +46,13 @@ class Job:
     summary: Optional[Dict[str, Any]] = None
     #: Executor fault/restore counters of the finished run.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock telemetry rollup of the job's shards (live while
+    #: running, final on completion); None with telemetry off.  Rides
+    #: beside the deterministic summary/counters, never inside them.
+    telemetry: Optional[Dict[str, Any]] = None
+    #: Monotonic submission time (service-local, never serialized):
+    #: the scheduler derives queue-wait from it.
+    submitted_at: float = 0.0
 
     @property
     def terminal(self) -> bool:
@@ -65,6 +72,7 @@ class Job:
             "progress": list(self.progress),
             "summary": self.summary,
             "counters": dict(self.counters),
+            "telemetry": dict(self.telemetry) if self.telemetry else None,
             "spec": self.spec.to_json_dict(),
             "shards": self.shards,
         }
@@ -75,6 +83,13 @@ class Job:
         self.summary = stats_counters(report.stats)
         self.counters = dict(report.counters)
         self.progress = (len(report.shards), len(report.shards))
+        folded = getattr(report, "telemetry", None)
+        if folded:
+            merged = dict(folded)
+            if self.telemetry:  # keep the scheduler's queue-wait fold
+                merged["queue_wait_s"] = self.telemetry.get(
+                    "queue_wait_s", 0.0)
+            self.telemetry = merged
 
 
 class JobQueue:
@@ -184,3 +199,10 @@ class JobQueue:
     def ordered(self) -> List[Job]:
         """Every known job in submission order."""
         return sorted(self.jobs.values(), key=lambda job: job.seq)
+
+    def by_state(self) -> Dict[str, int]:
+        """Job counts per lifecycle state (every state, zeros included)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

@@ -137,6 +137,26 @@ def test_bench_tool_requires_exactly_one_mode():
     assert both.returncode == 2
 
 
+def test_bench_write_stamps_host_metadata(tmp_path):
+    baseline_path = str(tmp_path / "BENCH_fleet.json")
+    wrote = run_bench("--write", baseline_path, "--installs", "30",
+                      "--shards", "2", "--repeat", "1", "--telemetry")
+    assert wrote.returncode == 0, wrote.stderr
+    assert "telemetry=on" in wrote.stdout
+    baseline = load_baseline(baseline_path)
+    host = baseline.meta["host"]
+    assert host["cpus"] >= 1
+    assert host["platform"]
+    assert host["python"].count(".") == 2
+    assert baseline.meta["telemetry"] is True
+    # the gate compares wall_seconds only — a baseline recorded on a
+    # different host (different meta) still gates cleanly
+    ok = run_bench("--compare", baseline_path, "--installs", "30",
+                   "--shards", "2", "--repeat", "1",
+                   "--threshold", "10.0")
+    assert ok.returncode == 0, ok.stderr
+
+
 def test_committed_baseline_is_loadable_and_matches_reference_shape():
     baseline = load_baseline(str(REPO_ROOT / "BENCH_fleet.json"))
     assert baseline.name == "fleet"

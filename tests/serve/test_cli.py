@@ -1,4 +1,5 @@
-"""CLI verbs: serve/submit/jobs/watch, fleet --checkpoint, trace --job."""
+"""CLI verbs: serve/submit/jobs/watch/metrics/top, fleet --checkpoint,
+trace --job, and the fleet/analyze telemetry flags."""
 
 import threading
 
@@ -96,6 +97,87 @@ def test_fleet_checkpoint_resumes_from_the_journal(tmp_path, capsys):
                                 if "completed  :" in line or
                                 "hijacked   :" in line]
     assert count_lines(first) == count_lines(second)
+
+
+def test_metrics_and_top_over_a_live_daemon(cli_daemon, capsys):
+    from repro.obs.runtime import validate_exposition
+
+    args, state_dir = cli_daemon
+    assert main(["submit", *args, "--installs", "20", "--seed", "7",
+                 "--shards", "2", "--wait"]) == 0
+    capsys.readouterr()
+
+    assert main(["metrics", "--serve", *args]) == 0
+    captured = capsys.readouterr()
+    assert validate_exposition(captured.out) > 0
+    assert "repro_serve_jobs_completed_total 1" in captured.out
+    assert "repro_telemetry_cpu_seconds_total" in captured.out
+    assert "valid sample(s)" in captured.err
+
+    # offline render from the stored result, no daemon round trip
+    assert main(["metrics", "--job", "job-000001", *args]) == 0
+    out = capsys.readouterr().out
+    assert 'repro_telemetry_shards_total{job="job-000001"' in out
+
+    assert main(["top", *args, "--iterations", "1",
+                 "--interval", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top — frame 1" in out
+    assert "job-000001  done" in out
+    assert "jobs by state: queued=0 running=0 done=1" in out
+
+    assert main(["jobs", *args]) == 0
+    out = capsys.readouterr().out
+    assert "jobs by state:" in out
+    assert "telemetry    : cpu" in out
+
+
+def test_metrics_for_an_unknown_job_explains_itself(tmp_path, capsys):
+    code = main(["metrics", "--job", "job-000009",
+                 "--state-dir", str(tmp_path)])
+    assert code == 2
+    assert "no stored result" in capsys.readouterr().err
+
+
+def test_fleet_telemetry_flag_reports_beside_the_stats(capsys):
+    base = ["fleet", "--installs", "20", "--seed", "7", "--shards", "2",
+            "--backend", "serial", "--quiet"]
+    assert main(base) == 0
+    plain = capsys.readouterr().out
+    assert "telemetry" not in plain
+    assert main([*base, "--telemetry"]) == 0
+    probed = capsys.readouterr().out
+    assert "telemetry  : cpu" in probed
+    # the deterministic stats block is unchanged by the probe
+    stats = lambda text: [line for line in text.splitlines()
+                          if "installed  :" in line or
+                          "hijacked   :" in line]
+    assert stats(plain) == stats(probed)
+
+
+def test_profile_shards_writes_the_hotspot_table(tmp_path, capsys):
+    out_path = tmp_path / "HOTSPOTS_fleet.txt"
+    assert main(["fleet", "--installs", "20", "--seed", "7",
+                 "--shards", "2", "--backend", "serial", "--quiet",
+                 "--profile-shards", "--profile-out",
+                 str(out_path)]) == 0
+    captured = capsys.readouterr()
+    assert "2 shard profile(s)" in captured.err
+    text = out_path.read_text(encoding="utf-8")
+    assert "merged shard profile" in text
+    assert "_execute_shard" in text
+
+
+def test_analyze_telemetry_goes_to_stderr_only(capsys):
+    base = ["analyze", "--corpus", "play", "--apps", "400",
+            "--shards", "2", "--backend", "serial", "--quiet"]
+    assert main(base) == 0
+    plain = capsys.readouterr()
+    assert main([*base, "--telemetry"]) == 0
+    probed = capsys.readouterr()
+    # stdout is the CI-compared deterministic surface: byte-identical
+    assert plain.out == probed.out
+    assert "telemetry: cpu" in probed.err
 
 
 def test_trace_commands_need_a_source(capsys):

@@ -1,0 +1,199 @@
+"""Ops surface of the campaign service: metrics, flight, health extras.
+
+The scheduling/recovery contract is covered by ``test_daemon.py`` and
+``test_resume.py``; here we pin the wall-clock plane the daemon grew
+on top of it — the Prometheus ``metrics`` op, the ``flight`` recorder
+op, per-job telemetry rollups, and the extended ``health`` payload.
+"""
+
+import asyncio
+import socket as socket_module
+import threading
+
+import pytest
+
+from repro.engine.spec import CampaignSpec
+from repro.errors import ReproError
+from repro.obs.runtime import validate_exposition
+from repro.serve.client import ServeClient
+from repro.serve.daemon import CampaignService, ServeDaemon
+from repro.serve.protocol import parse_submission, submit_campaign_request
+
+needs_unix_sockets = pytest.mark.skipif(
+    not hasattr(socket_module, "AF_UNIX"),
+    reason="unix sockets unavailable on this platform")
+
+
+@pytest.fixture
+def live_daemon(tmp_path):
+    """A serving daemon on a unix socket, torn down after the test."""
+    service = CampaignService(tmp_path / "state", workers=2,
+                              backend="serial", seed=5)
+    service.recover()
+    daemon = ServeDaemon(service, socket_path=tmp_path / "serve.sock")
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(daemon.serve_forever(ready)),
+        daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    client = ServeClient(socket_path=daemon.socket_path)
+    client.wait_until_ready()
+    yield client, daemon, service
+    try:
+        client.shutdown()
+    except ReproError:
+        pass
+    thread.join(15)
+    assert not thread.is_alive()
+
+
+def run_one_job(service, installs=20, seed=7):
+    job = service.submit(parse_submission(submit_campaign_request(
+        CampaignSpec(installs=installs, seed=seed))))
+    service.execute(service.try_pop())
+    return job
+
+
+# -- metrics op -------------------------------------------------------------
+
+@needs_unix_sockets
+def test_metrics_op_returns_valid_exposition(live_daemon):
+    client, _, _ = live_daemon
+    job = client.submit_campaign(CampaignSpec(installs=20, seed=7))
+    client.wait(job["job_id"], timeout=60)
+    text = client.metrics()
+    assert validate_exposition(text) > 0
+    assert "repro_serve_jobs_completed_total 1" in text
+    assert "repro_telemetry_cpu_seconds_total" in text
+    assert "repro_serve_shard_wall_ms_bucket" in text
+    assert f'job="{job["job_id"]}"' in text
+
+
+def test_service_exposition_separates_service_and_job_scopes(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        first = run_one_job(service, seed=1)
+        second = run_one_job(service, seed=2)
+        text = service.prometheus()
+        validate_exposition(text)
+        assert 'scope="service"' in text
+        for job in (first, second):
+            assert (f'repro_telemetry_shards_total{{job="{job.job_id}"'
+                    f',scope="job"}}') in text
+    finally:
+        service.close()
+
+
+def test_exposition_reports_current_and_peak_queue_depth(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        run_one_job(service)
+        text = service.prometheus()
+        assert "repro_serve_queue_depth 0" in text       # live depth
+        assert "repro_serve_queue_depth_peak 1" in text  # high-water
+    finally:
+        service.close()
+
+
+def test_telemetry_off_service_still_exposes_counters(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial",
+                              telemetry=False)
+    try:
+        job = run_one_job(service)
+        assert job.telemetry is None
+        text = service.prometheus()
+        validate_exposition(text)
+        assert "repro_serve_jobs_completed_total 1" in text
+        assert "repro_telemetry_shards_total" not in text
+        assert service.health()["telemetry"] is None
+    finally:
+        service.close()
+
+
+# -- flight op --------------------------------------------------------------
+
+@needs_unix_sockets
+def test_flight_op_streams_the_job_lifecycle(live_daemon):
+    client, _, _ = live_daemon
+    job = client.submit_campaign(CampaignSpec(installs=20, seed=7))
+    client.wait(job["job_id"], timeout=60)
+    flight = client.flight()
+    kinds = [event["kind"] for event in flight["events"]]
+    assert kinds[0] == "recover"  # service.recover() ran at startup
+    for kind in ("submit", "schedule", "start", "checkpoint", "finish"):
+        assert kind in kinds, (kind, kinds)
+    submit = next(e for e in flight["events"] if e["kind"] == "submit")
+    assert submit["job"] == job["job_id"]
+    assert flight["dropped"] == 0
+
+
+def test_flight_crash_event_carries_the_error(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        service.submit(parse_submission(submit_campaign_request(
+            CampaignSpec(installs=10, seed=1))))
+        claimed = service.try_pop()
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("worker pool caught fire")
+
+        service.executor.run = explode
+        service.execute(claimed)
+        crashes = service.flight.events("crash")
+        assert len(crashes) == 1
+        assert "caught fire" in crashes[0]["error"]
+    finally:
+        service.close()
+
+
+def test_flight_file_feeds_the_restarted_service(tmp_path):
+    first = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        run_one_job(first)
+    finally:
+        first.close()
+    second = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        second.recover()
+        kinds = [e["kind"] for e in second.flight.events()]
+        assert "finish" in kinds          # pre-restart history survived
+        assert kinds[-1] == "recover"     # and the restart stamped its own
+    finally:
+        second.close()
+
+
+# -- health extensions ------------------------------------------------------
+
+def test_health_reports_states_pids_and_telemetry(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        run_one_job(service)
+        service.submit(parse_submission(submit_campaign_request(
+            CampaignSpec(installs=10, seed=3))))
+        health = service.health()
+        assert health["jobs_by_state"]["done"] == 1
+        assert health["jobs_by_state"]["queued"] == 1
+        assert health["worker_pids"] == {}  # serial backend: no pool
+        assert health["telemetry"]["shards"] == 1
+        assert health["uptime_s"] >= 0
+    finally:
+        service.close()
+
+
+def test_job_wire_dict_carries_its_telemetry_rollup(tmp_path):
+    service = CampaignService(tmp_path, workers=1, backend="serial")
+    try:
+        job = run_one_job(service)
+        wire = job.to_dict()
+        assert wire["telemetry"]["shards"] == 1
+        assert wire["telemetry"]["wall_ns"] > 0
+        assert wire["telemetry"]["queue_wait_s"] >= 0.0
+        # the stored result carries the same rollup for offline renders
+        import json
+
+        result = json.loads(service.store.result_path(job.job_id)
+                            .read_text(encoding="utf-8"))
+        assert result["telemetry"]["shards"] == 1
+    finally:
+        service.close()

@@ -31,7 +31,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.engine import CampaignSpec, NullProgress, run_fleet  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
-from repro.obs import write_trace_jsonl  # noqa: E402
+from repro.obs import host_metadata, write_trace_jsonl  # noqa: E402
 from repro.obs.baseline import (  # noqa: E402
     BenchBaseline,
     load_baseline,
@@ -94,17 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "(apps/s) instead of the install engine")
     parser.add_argument("--apps", type=int, default=DEFAULT_APPS,
                         help="scaled Play-corpus size in --analyze mode")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run the timed fleets with per-shard "
+                             "telemetry sampling on (measures the "
+                             "probe's own overhead)")
     return parser
 
 
 def time_fleet(spec: CampaignSpec, shards: int, backend: str,
-               repeat: int) -> list:
+               repeat: int, telemetry: bool = False) -> list:
     """Best-of-N timing of the reference fleet (seconds per repeat)."""
     runs = []
     for _ in range(max(1, repeat)):
         started = time.perf_counter()
         report = run_fleet(spec, shards=shards, backend=backend,
-                           progress=NullProgress())
+                           progress=NullProgress(), telemetry=telemetry)
         runs.append(time.perf_counter() - started)
         if report.stats.runs != spec.installs:
             raise ReproError(
@@ -114,7 +118,7 @@ def time_fleet(spec: CampaignSpec, shards: int, backend: str,
 
 
 def time_analysis(apps: int, shards: int, backend: str, seed: int,
-                  repeat: int) -> list:
+                  repeat: int, telemetry: bool = False) -> list:
     """Best-of-N timing of the sharded analysis pipeline."""
     from repro.analysis.pipeline import AnalysisSpec, run_analysis
 
@@ -122,7 +126,8 @@ def time_analysis(apps: int, shards: int, backend: str, seed: int,
     runs = []
     for _ in range(max(1, repeat)):
         started = time.perf_counter()
-        report = run_analysis(spec, shards=shards, backend=backend)
+        report = run_analysis(spec, shards=shards, backend=backend,
+                              telemetry=telemetry)
         runs.append(time.perf_counter() - started)
         if report.stats.runs != apps:
             raise ReproError(
@@ -218,15 +223,17 @@ def main(argv=None) -> int:
             lines.append(
                 f"bench {bench_name}: {size} {unit}, "
                 f"{args.shards} shard(s), "
-                f"backend={args.backend}, seed={args.seed}")
+                f"backend={args.backend}, seed={args.seed}"
+                + (", telemetry=on" if args.telemetry else ""))
         exit_code = 0
         if args.write or args.compare:
             if args.analyze:
                 runs = time_analysis(args.apps, args.shards, args.backend,
-                                     args.seed, args.repeat)
+                                     args.seed, args.repeat,
+                                     telemetry=args.telemetry)
             else:
                 runs = time_fleet(spec, args.shards, args.backend,
-                                  args.repeat)
+                                  args.repeat, telemetry=args.telemetry)
             best = min(runs)
             measured = best * (1.0 + args.inject_slowdown)
             lines += [
@@ -248,7 +255,12 @@ def main(argv=None) -> int:
                 wall_seconds=measured,
                 throughput=size / measured,
                 runs=[round(run, 6) for run in runs],
-                meta={"seed": args.seed, "unit": unit},
+                # Host facts make cross-machine baselines interpretable;
+                # the regression gate compares wall_seconds only, so the
+                # block never affects a pass/fail verdict.
+                meta={"seed": args.seed, "unit": unit,
+                      "telemetry": bool(args.telemetry),
+                      "host": host_metadata()},
             )
             save_baseline(args.write, baseline)
             lines.append(f"  baseline : wrote {args.write}")

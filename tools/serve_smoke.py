@@ -9,10 +9,14 @@ and proves, in order:
 3.  fuzz-case submission through the same queue;
 4.  double-run byte identity — two jobs with the same spec archive
     byte-identical trace JSONL;
-5.  hard kill (``SIGKILL``, no goodbye) mid-campaign, then restart:
-    the recovered daemon resumes the job from its shard checkpoint
-    and the final stats and trace are identical to an uninterrupted
-    in-process reference run.
+5.  ops surface: the ``metrics`` op's Prometheus exposition parses
+    and carries the telemetry rollup families, and the ``flight`` op
+    shows the whole job lifecycle;
+6.  hard kill (``SIGKILL``, no goodbye) mid-campaign, then restart:
+    the recovered daemon resumes the job from its shard checkpoint,
+    the final stats and trace are identical to an uninterrupted
+    in-process reference run, and the flight recorder still holds the
+    pre-kill events plus the restart's ``recover``.
 
 Everything is a subprocess, nothing is mocked; the whole script has a
 hard deadline (default 110s) so CI can never wedge on it.
@@ -140,6 +144,35 @@ def main() -> int:
     health = client.health()
     assert health["jobs_completed"] == 3, health
     assert health["warm_pool"], health  # the pool stayed resident
+    assert health["worker_pids"], health
+    assert health["jobs_by_state"]["done"] == 3, health
+    assert health["telemetry"]["shards"] >= 4, health
+
+    # -- phase 2b: ops surface — metrics exposition + flight recorder ---------
+    from repro.obs.runtime import validate_exposition
+
+    exposition = client.metrics()
+    samples = validate_exposition(exposition)
+    for family in ("repro_serve_jobs_completed_total",
+                   "repro_telemetry_shards_total",
+                   "repro_telemetry_cpu_seconds_total",
+                   "repro_telemetry_wall_seconds_total",
+                   "repro_telemetry_max_rss_kilobytes",
+                   "repro_serve_shard_wall_ms_bucket",
+                   "repro_serve_uptime_seconds"):
+        assert family in exposition, f"missing family {family}"
+    say(f"metrics scrape: {samples} valid sample(s), telemetry "
+        f"rollups present")
+
+    flight = client.flight()
+    kinds = [event["kind"] for event in flight["events"]]
+    for kind in ("recover", "submit", "schedule", "start",
+                 "checkpoint", "finish"):
+        assert kind in kinds, (kind, kinds)
+    assert flight["recorded"] == len(kinds), flight["recorded"]
+    say(f"flight recorder: {flight['recorded']} event(s), "
+        f"kinds cover the job lifecycle")
+
     stop_daemon(daemon, state_a)
     say("graceful shutdown clean")
 
@@ -161,6 +194,19 @@ def main() -> int:
     daemon = start_daemon(state_b)
     client = ServeClient(socket_path=state_b / "serve.sock")
     assert client.health()["jobs_recovered"] == 1, client.health()
+
+    # The file-backed flight ring survived the SIGKILL: the pre-kill
+    # lifecycle events are still there, and the restart appended its
+    # own ``recover`` after them.
+    events = client.flight()["events"]
+    kinds = [event["kind"] for event in events]
+    assert "submit" in kinds, kinds
+    assert "start" in kinds, kinds
+    last_recover = max(i for i, k in enumerate(kinds) if k == "recover")
+    assert last_recover > kinds.index("submit"), kinds
+    say(f"flight survived SIGKILL: {len(kinds)} event(s), "
+        f"recover recorded after the pre-kill lifecycle")
+
     resumed = client.wait(victim["job_id"], timeout=remaining())
     assert resumed["state"] == "done", resumed
     restored = resumed["counters"].get("restored", 0)
