@@ -777,8 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload: play / preinstalled app corpus "
                               "or the factory-image fleet")
     analyze.add_argument("--apps", type=int, default=None,
-                         help="scale the corpus to N apps at the "
-                              "paper's trait rates (default: paper size)")
+                         help="scale the corpus to N apps — or, for "
+                              "--corpus images, N factory images — at "
+                              "the paper's trait rates (default: paper "
+                              "size)")
     analyze.add_argument("--shards", type=int, default=None,
                          help="shard count (default: one per worker)")
     analyze.add_argument("--workers", type=int, default=None,

@@ -25,10 +25,12 @@ ecosystem (see DESIGN.md section 4).
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CorpusError
+from repro.sim.rand import TOKEN_ALPHABET as _ALNUM
 from repro.sim.rand import DeterministicRandom
 
 WRITE_EXTERNAL = "android.permission.WRITE_EXTERNAL_STORAGE"
@@ -45,6 +47,8 @@ PLAY_CATEGORIES = [
     "PHOTOGRAPHY", "PRODUCTIVITY", "SHOPPING", "SOCIAL", "SPORTS",
     "TOOLS", "TRANSPORTATION", "TRAVEL", "WEATHER", "WIDGETS", "UTILITIES",
 ]
+
+_PLAY_CATEGORIES_LOWER = tuple(name.lower() for name in PLAY_CATEGORIES)
 
 # The paper's three confirmed-secure pre-installed installers.
 SECURE_PREINSTALLED_PACKAGES = (
@@ -157,15 +161,20 @@ def _class_header(package: str, suffix: str) -> str:
     return f".class L{path}/{suffix};"
 
 
+#: The installation API call every installer carries.  A constant
+#: tuple: the old helper rebuilt this list per generated app.
+_INSTALL_TRIGGER_BLOCK = (
+    f'const-string v3, "{INSTALL_MARKER}"',
+    "invoke-virtual {v0, v4, v3}, Landroid/content/Intent;->"
+    "setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;",
+    "invoke-virtual {v0, v4}, Landroid/content/Context;->"
+    "startActivity(Landroid/content/Intent;)V",
+)
+
+
 def _install_trigger_block() -> List[str]:
     """The installation API call every installer carries."""
-    return [
-        f'const-string v3, "{INSTALL_MARKER}"',
-        "invoke-virtual {v0, v4, v3}, Landroid/content/Intent;->"
-        "setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;",
-        "invoke-virtual {v0, v4}, Landroid/content/Context;->"
-        "startActivity(Landroid/content/Intent;)V",
-    ]
+    return list(_INSTALL_TRIGGER_BLOCK)
 
 
 def _vulnerable_body(package: str) -> List[str]:
@@ -175,7 +184,7 @@ def _vulnerable_body(package: str) -> List[str]:
         f'const-string v2, "/sdcard/{package.split(".")[-1]}/update.apk"',
         "invoke-static {v1, v2}, Lcom/helper/Net;->"
         "download(Ljava/lang/String;Ljava/lang/String;)V",
-        *_install_trigger_block(),
+        *_INSTALL_TRIGGER_BLOCK,
     ]
 
 
@@ -203,7 +212,7 @@ def _secure_body(package: str, variant: int) -> List[str]:
     return [
         f'const-string v5, "/data/data/{package}/files/update.apk"',
         *setter,
-        *_install_trigger_block(),
+        *_INSTALL_TRIGGER_BLOCK,
     ]
 
 
@@ -225,7 +234,7 @@ def _unknown_reflection_body(package: str, index: int = 0) -> List[str]:
             "invoke-virtual {v0, v2}, Landroid/os/Handler;->"
             "handleMessage(Landroid/os/Message;)V",
         ]
-    return [*opaque_edge, *_install_trigger_block()]
+    return [*opaque_edge, *_INSTALL_TRIGGER_BLOCK]
 
 
 def _unknown_field_mode_body(package: str) -> List[str]:
@@ -235,7 +244,7 @@ def _unknown_field_mode_body(package: str) -> List[str]:
         f"iget v2, v0, L{package.replace('.', '/')}/Config;->fileMode:I",
         "invoke-virtual {v0, v1, v2}, Landroid/content/Context;->"
         "openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;",
-        *_install_trigger_block(),
+        *_INSTALL_TRIGGER_BLOCK,
     ]
 
 
@@ -247,7 +256,7 @@ def _unknown_mixed_body(package: str) -> List[str]:
         "const/4 v3, 1",
         "invoke-virtual {v0, v2, v3}, Landroid/content/Context;->"
         "openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;",
-        *_install_trigger_block(),
+        *_INSTALL_TRIGGER_BLOCK,
     ]
 
 
@@ -261,16 +270,14 @@ def _non_installer_body(package: str, with_sdcard: bool) -> List[str]:
     return body
 
 
-def _redirect_method(urls: Sequence[str]) -> List[str]:
-    lines = [".method openStorePage()V"]
-    for index, url in enumerate(urls, start=1):
-        lines.append(f'const-string v{index % 8}, "{url}"')
-    lines.append(
+def _redirect_method(url_lines: Sequence[str]) -> List[str]:
+    return [
+        ".method openStorePage()V",
+        *url_lines,
         "invoke-virtual {v0, v4}, Landroid/content/Context;->"
-        "startActivity(Landroid/content/Intent;)V"
-    )
-    lines.append(".end method")
-    return lines
+        "startActivity(Landroid/content/Intent;)V",
+        ".end method",
+    ]
 
 
 _BODY_BUILDERS = {
@@ -283,7 +290,7 @@ _BODY_BUILDERS = {
 
 
 def _render_app_code(package: str, truth: GroundTruth, index: int,
-                     redirect_urls: Sequence[str],
+                     redirect_url_lines: Sequence[str],
                      sdcard_noise: bool) -> str:
     lines = [_class_header(package, "MainActivity")]
     lines.append(".method run()V")
@@ -292,8 +299,8 @@ def _render_app_code(package: str, truth: GroundTruth, index: int,
     else:
         lines.extend(_BODY_BUILDERS[truth](package, index))
     lines.append(".end method")
-    if redirect_urls:
-        lines.extend(_redirect_method(redirect_urls))
+    if redirect_url_lines:
+        lines.extend(_redirect_method(redirect_url_lines))
     return "\n".join(lines)
 
 
@@ -326,17 +333,23 @@ def _mix64(value: int) -> int:
 class IndexPermutation:
     """A keyed bijection of ``range(size)`` with O(1) memory.
 
-    Four Feistel rounds over the smallest even-bit domain covering
-    ``size``, cycle-walking values that land past the end back through
-    the network (expected < 4 walks).  Pure integer arithmetic — stable
-    across platforms and Python versions, unlike ``hash()``.
+    Four alternating-half Feistel rounds (an unbalanced network: the
+    two halves keep their own widths and take turns absorbing the
+    splitmix64 round function, which is bijective for any split) over
+    the *smallest* power-of-two domain covering ``size``.  The tight
+    domain keeps the cycle walk's expected re-entries below one —
+    the previous even-bit balanced network could oversize the domain
+    almost 4x and walked ~3x per call near those sizes.  Pure integer
+    arithmetic — stable across platforms and Python versions, unlike
+    ``hash()``.
     """
 
     def __init__(self, size: int, rng: DeterministicRandom) -> None:
         self.size = size
-        half = max(1, (max(size, 2).bit_length() + 1) // 2)
-        self._half_bits = half
-        self._mask = (1 << half) - 1
+        bits = max(2, (max(size, 2) - 1).bit_length())
+        self._r_bits = bits // 2
+        self._l_mask = (1 << (bits - bits // 2)) - 1
+        self._r_mask = (1 << (bits // 2)) - 1
         self._keys = tuple(
             rng.fork(f"round-{round_no}").randint(0, _M64)
             for round_no in range(4)
@@ -345,28 +358,122 @@ class IndexPermutation:
     def __call__(self, index: int) -> int:
         if not 0 <= index < self.size:
             raise CorpusError(f"index {index} outside corpus of {self.size}")
+        # Inlined and unrolled: this runs 2x per app (truth + redirect
+        # slots), so the per-round function calls of the naive form
+        # dominated corpus generation.
+        size = self.size
+        r_bits = self._r_bits
+        l_mask = self._l_mask
+        r_mask = self._r_mask
+        k0, k1, k2, k3 = self._keys
         value = index
         while True:
-            value = self._feistel(value)
-            if value < self.size:
+            left = value >> r_bits
+            right = value & r_mask
+            mixed = (right + k0) & _M64
+            mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+            mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _M64
+            left ^= (mixed ^ (mixed >> 31)) & l_mask
+            mixed = (left + k1) & _M64
+            mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+            mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _M64
+            right ^= (mixed ^ (mixed >> 31)) & r_mask
+            mixed = (right + k2) & _M64
+            mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+            mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _M64
+            left ^= (mixed ^ (mixed >> 31)) & l_mask
+            mixed = (left + k3) & _M64
+            mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+            mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _M64
+            right ^= (mixed ^ (mixed >> 31)) & r_mask
+            value = (left << r_bits) | right
+            if value < size:
                 return value
 
     def _feistel(self, value: int) -> int:
-        left = value >> self._half_bits
-        right = value & self._mask
-        for key in self._keys:
-            left, right = right, left ^ (_mix64(right + key) & self._mask)
-        return (left << self._half_bits) | right
+        """One pass of the network (kept for direct testing)."""
+        left = value >> self._r_bits
+        right = value & self._r_mask
+        left ^= _mix64(right + self._keys[0]) & self._l_mask
+        right ^= _mix64(left + self._keys[1]) & self._r_mask
+        left ^= _mix64(right + self._keys[2]) & self._l_mask
+        right ^= _mix64(left + self._keys[3]) & self._r_mask
+        return (left << self._r_bits) | right
 
 
-def _make_urls(package: str, count: int,
-               rng: DeterministicRandom) -> Tuple[str, ...]:
+#: Redirect scheme pool, constant (the old code built a list per URL).
+_SCHEMES = (PLAY_URL, MARKET_SCHEME, MARKET_URL)
+
+#: All 1,296 two-character alnum pairs: a 6-char token is three table
+#: lookups on the base-1296 digits of a 64-bit draw.
+_PAIRS = tuple(a + b for a in _ALNUM for b in _ALNUM)
+
+_TOKEN_SPACE = 36 ** 6          # 6-char alnum tokens
+_GOLDEN = 0x9E3779B97F4A7C15    # odd => index * _GOLDEN is injective mod 2^64
+
+#: The two manifest shapes every Play app draws from, prebuilt.
+_PERMS_BASE = frozenset({"android.permission.INTERNET"})
+_PERMS_WITH_WRITE = frozenset({"android.permission.INTERNET",
+                               WRITE_EXTERNAL})
+
+_object_new = object.__new__
+
+
+#: Decoy redirect URLs are drawn from a finite keyed pool rather than
+#: minted per app.  This mirrors reality — redirect chains reuse a
+#: bounded population of store/tracker URLs across many apps — and it
+#: is what lets a 100k-app sweep go fast: a pooled decoy's
+#: ``const-string`` line is byte-identical across every app that draws
+#: it, so the smali scanner's line memo absorbs it instead of
+#: re-scanning a globally unique URL line per app.  Only the first URL
+#: of a chain (the predictable ``<package>.companion`` target that
+#: Table IV's single-URL analysis keys on) stays app-specific.
+_DECOY_POOL_SIZE = 4096
+_DECOY_MASK = _DECOY_POOL_SIZE - 1
+_DECOY_STRIDE = 0x68E31DA5      # odd => distinct picks within a chain
+
+
+@functools.lru_cache(maxsize=8)
+def _decoy_pool(key: int) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """``(urls, const-string lines)`` decoy tables for one URL key."""
     urls = []
-    for index in range(count):
-        target = f"com.promo.{rng.token(6)}" if index else _predictable_target(package)
-        scheme = rng.choice([PLAY_URL, MARKET_SCHEME, MARKET_URL])
-        urls.append(f"{scheme}{target}")
-    return tuple(urls)
+    lines = []
+    for entry in range(_DECOY_POOL_SIZE):
+        value = _mix64(key ^ (entry * _GOLDEN))
+        token = value % _TOKEN_SPACE
+        url = (_SCHEMES[(value >> 33) % 3] + "com.promo."
+               + _PAIRS[token // 1679616]
+               + _PAIRS[(token // 1296) % 1296]
+               + _PAIRS[token % 1296])
+        urls.append(url)
+        lines.append(f'const-string v{entry & 7}, "{url}"')
+    return tuple(urls), tuple(lines)
+
+
+def _make_redirects(package: str, count: int, key: int,
+                    index: int) -> Tuple[Tuple[str, ...], List[str]]:
+    """App ``index``'s redirect URLs plus their rendered code lines.
+
+    The original implementation forked a per-app ``random.Random`` (a
+    full 624-word Mersenne-Twister seeding, ~8us) and drew every URL
+    character through a rejection loop; at 100k+ apps the URL material
+    dominated corpus generation.  Now one :func:`_mix64` call seeds the
+    app's chain: the first URL is the app's predictable companion
+    target, every later position indexes the keyed decoy pool.
+    """
+    if not count:
+        return (), []
+    base = _mix64(key ^ (index * _GOLDEN))
+    first = _SCHEMES[(base >> 33) % 3] + _predictable_target(package)
+    urls = [first]
+    lines = [f'const-string v1, "{first}"']
+    if count > 1:
+        pool_urls, pool_lines = _decoy_pool(key)
+        for position in range(1, count):
+            pick = (base + position * _DECOY_STRIDE) & _DECOY_MASK
+            urls.append(pool_urls[pick])
+            lines.append(pool_lines[pick])
+    return tuple(urls), lines
 
 
 def _predictable_target(package: str) -> str:
@@ -406,7 +513,7 @@ class PlayCorpusPlan:
         self.spec = spec
         self.size = spec.total
         rng = DeterministicRandom(seed).fork("play-corpus")
-        self._urls_rng = rng.fork("urls")
+        self._urls_key = rng.fork("urls").randint(0, _M64)
         self._truth_perm = IndexPermutation(spec.total, rng.fork("truths"))
         self._redirect_perm = IndexPermutation(spec.total,
                                                rng.fork("redirects"))
@@ -452,27 +559,35 @@ class PlayCorpusPlan:
         """Build app ``index`` from the seed alone (no shared state)."""
         slot = self._truth_perm(index)
         truth = self._truth_for_slot(slot)
-        category = PLAY_CATEGORIES[index % len(PLAY_CATEGORIES)]
-        package = f"com.play.{category.lower()}.app{index:05d}"
-        permissions = {"android.permission.INTERNET"}
-        # WRITE_EXTERNAL by slot: the vulnerable slots (which *must*
-        # hold it) plus the next slots up to the calibrated total.
-        if slot < self.spec.write_external_total:
-            permissions.add(WRITE_EXTERNAL)
+        position = index % len(PLAY_CATEGORIES)
+        package = f"com.play.{_PLAY_CATEGORIES_LOWER[position]}.app{index:05d}"
         redirect_count = self._redirect_count_for_slot(
             self._redirect_perm(index))
-        urls = _make_urls(package, redirect_count,
-                          self._urls_rng.fork(f"app-{index}"))
+        urls, url_lines = _make_redirects(package, redirect_count,
+                                          self._urls_key, index)
         sdcard_noise = truth is GroundTruth.NON_INSTALLER and index % 5 == 0
-        return CorpusApp(
-            package=package,
-            category=category,
-            truth=truth,
-            declared_permissions=frozenset(permissions),
-            smali_text=_render_app_code(package, truth, index, urls,
-                                        sdcard_noise),
-            redirect_urls=urls,
-        )
+        app = _object_new(CorpusApp)
+        # Bypassing the dataclass __init__ (nine sequential attribute
+        # stores) is measurable at corpus-sweep scale.
+        app.__dict__ = {
+            "package": package,
+            "category": PLAY_CATEGORIES[position],
+            "truth": truth,
+            # WRITE_EXTERNAL by slot: the vulnerable slots (which
+            # *must* hold it) plus the next slots up to the
+            # calibrated total.
+            "declared_permissions": (
+                _PERMS_WITH_WRITE
+                if slot < self.spec.write_external_total
+                else _PERMS_BASE),
+            "smali_text": _render_app_code(package, truth, index, url_lines,
+                                           sdcard_noise),
+            "redirect_urls": urls,
+            "is_preinstalled": False,
+            "vendor": "",
+            "instances": 1,
+        }
+        return app
 
     def iter_apps(self, start: int = 0,
                   stop: Optional[int] = None) -> Iterator[CorpusApp]:

@@ -26,8 +26,8 @@ pre-installed apps.  This module generates a fleet with the same shape:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import CorpusError
 from repro.sim.rand import DeterministicRandom
@@ -205,8 +205,17 @@ class _RecordMint:
         return len({record.record_id for record in self._cache.values()})
 
 
-def generate_fleet(seed: int = 2016) -> Fleet:
-    """Generate the full three-vendor fleet."""
+def generate_fleet(seed: int = 2016,
+                   specs: Tuple[VendorSpec, ...] = ALL_SPECS) -> Fleet:
+    """Generate a three-vendor fleet (``specs`` defaults to paper scale).
+
+    At the default specs every calibration pass runs at paper
+    exactness, including the md5-distinct pin to 206,674.  Scaled specs
+    (see :func:`scaled_image_specs`) keep every per-model and per-image
+    trait and scale the hare search proportionally, but skip the
+    distinct-count pin — that figure is a property of the paper's crawl
+    size, not of the generator.
+    """
     rng = DeterministicRandom(seed).fork("fleet")
     mint = _RecordMint()
     images: List[FactoryImage] = []
@@ -220,7 +229,7 @@ def generate_fleet(seed: int = 2016) -> Fleet:
         f"com.samsung.platform.hare{index:03d}" for index in range(HARE_APP_COUNT)
     )
 
-    for spec in ALL_SPECS:
+    for spec in specs:
         vendor_images = _generate_vendor(spec, mint, image_ids, region_codes,
                                          rng, hare_permissions)
         _ensure_platform_coverage(vendor_images, spec, mint)
@@ -229,7 +238,8 @@ def generate_fleet(seed: int = 2016) -> Fleet:
     sample_ids, search_ids, missing_by_image = _plan_hare(images)
     _apply_hare(images, mint, hare_permissions, hare_app_packages,
                 sample_ids, search_ids, missing_by_image)
-    _tune_distinct(images, TOTAL_DISTINCT_APPS)
+    if specs == ALL_SPECS:
+        _tune_distinct(images, TOTAL_DISTINCT_APPS)
     fleet = Fleet(
         images=images,
         hare_permissions=hare_permissions,
@@ -238,6 +248,81 @@ def generate_fleet(seed: int = 2016) -> Fleet:
         search_image_ids=tuple(search_ids),
     )
     return fleet
+
+
+def paper_image_total() -> int:
+    """The paper's fleet size (1,855 images)."""
+    return sum(spec.image_count for spec in ALL_SPECS)
+
+
+def scaled_image_specs(total: int) -> Tuple[VendorSpec, ...]:
+    """Vendor specs scaled to ``total`` images at the paper's mix.
+
+    ``scaled_image_specs(1855)`` is exactly :data:`ALL_SPECS`.  Other
+    totals split the image budget by the paper's vendor proportions
+    (largest-remainder, so the counts always sum to ``total``) while
+    keeping model counts, app pools, and per-image traits fixed — a
+    bigger fleet means *more firmware builds per model*, which is what
+    a longer crawl of the same vendors would return, and keeps the
+    md5-distinct record population bounded by the model pools rather
+    than growing with the crawl.
+    """
+    paper_total = paper_image_total()
+    if total == paper_total:
+        return ALL_SPECS
+    if total < 50:
+        # The hare calibration needs a Samsung sample + search pool.
+        raise CorpusError(
+            f"scaled image fleets need at least 50 images, got {total}")
+    shares = [spec.image_count * total / paper_total for spec in ALL_SPECS]
+    counts = [int(share) for share in shares]
+    leftover = total - sum(counts)
+    by_remainder = sorted(range(len(ALL_SPECS)),
+                          key=lambda i: shares[i] - counts[i], reverse=True)
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return tuple(replace(spec, image_count=counts[index])
+                 for index, spec in enumerate(ALL_SPECS))
+
+
+class FactoryImagePlan:
+    """Index-addressable view of a factory-image fleet.
+
+    Mirrors :class:`~repro.analysis.corpus.PlayCorpusPlan`'s surface —
+    ``image_at(i)`` / ``iter_images()`` over a global index space of
+    ``total`` images — so the engine shards the images corpus exactly
+    like the app corpora.  Unlike per-app derivation, the fleet's
+    calibration passes (platform coverage, hare placement, md5
+    aliasing) are inherently cross-image, so the plan materializes the
+    fleet lazily *once* on first image access: ``total`` and shard
+    arithmetic stay O(1) in the parent process, and every shard running
+    in one worker shares the same memoized fleet.
+    """
+
+    def __init__(self, seed: int = 2016,
+                 specs: Tuple[VendorSpec, ...] = ALL_SPECS) -> None:
+        self.seed = seed
+        self.specs = specs
+        self.total = sum(spec.image_count for spec in specs)
+        self._fleet: Optional[Fleet] = None
+
+    def fleet(self) -> Fleet:
+        """The materialized fleet (generated on first use)."""
+        if self._fleet is None:
+            self._fleet = generate_fleet(self.seed, self.specs)
+        return self._fleet
+
+    def image_at(self, index: int) -> FactoryImage:
+        """The image at global ``index`` (0-based, vendor-contiguous)."""
+        if not 0 <= index < self.total:
+            raise CorpusError(
+                f"index {index} outside fleet of {self.total}")
+        return self.fleet().images[index]
+
+    def iter_images(self) -> Iterator[FactoryImage]:
+        """All images in global-index order."""
+        for index in range(self.total):
+            yield self.image_at(index)
 
 
 # ---------------------------------------------------------------------------
@@ -425,20 +510,29 @@ def _plan_hare(images: List[FactoryImage]) -> Tuple[List[int], List[int],
                                                     Dict[int, Set[int]]]:
     """Choose sample/search images and the per-image missing-definition sets.
 
-    Exact calibration: 173 hare permissions are undefined on 156 search
-    images each and 5 on 155 each — 27,763 unique (permission, image)
-    cases, 23.51 average per searched image.
+    Exact calibration at paper scale: 173 hare permissions are
+    undefined on 156 search images each and 5 on 155 each — 27,763
+    unique (permission, image) cases, 23.51 average per searched
+    image.  Scaled fleets with a shorter Samsung pool search every
+    post-sample image and scale the case total at the same per-image
+    density.
     """
     samsung = [image for image in images if image.vendor == "samsung"]
     sample_ids = [image.image_id for image in samsung[:HARE_SAMPLE_IMAGES]]
     search_pool = samsung[HARE_SAMPLE_IMAGES:HARE_SAMPLE_IMAGES + HARE_SEARCH_IMAGES]
-    if len(search_pool) < HARE_SEARCH_IMAGES:
+    if not search_pool or len(samsung) <= HARE_SAMPLE_IMAGES:
         raise CorpusError("not enough Samsung images for the hare search set")
     search_ids = [image.image_id for image in search_pool]
 
-    per_perm_counts = [156] * 173 + [155] * 5
-    if sum(per_perm_counts) != HARE_TOTAL_CASES:
-        raise CorpusError("hare per-permission counts do not sum to target")
+    if len(search_pool) == HARE_SEARCH_IMAGES:
+        per_perm_counts = [156] * 173 + [155] * 5
+        if sum(per_perm_counts) != HARE_TOTAL_CASES:
+            raise CorpusError("hare per-permission counts do not sum to target")
+    else:
+        scaled_cases = max(
+            HARE_APP_COUNT,
+            round(HARE_TOTAL_CASES * len(search_pool) / HARE_SEARCH_IMAGES))
+        per_perm_counts = _spread(scaled_cases, HARE_APP_COUNT)
     missing_by_image: Dict[int, Set[int]] = {image_id: set() for image_id in search_ids}
     cursor = 0
     for perm_index, count in enumerate(per_perm_counts):

@@ -33,18 +33,18 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import json
 import os
-import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, ClassVar, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.cache import DEFAULT_ROTATE_RECORDS, PackStore
 from repro.analysis.classifier import (
     DETECTOR_VERSIONS,
     InstallerClassifier,
 )
 from repro.analysis.corpus import (
+    WRITE_EXTERNAL,
     CorpusApp,
     PlayCorpusSpec,
     PreinstalledCorpusSpec,
@@ -56,11 +56,11 @@ from repro.analysis.factory_images import (
     ALL_SPECS,
     AMAZON_PKG,
     DTIGNITE_PKG,
-    Fleet,
+    FactoryImagePlan,
     HUAWEI_STORE_PKG,
     SPRINTZONE_PKG,
     XIAOMI_STORE_PKG,
-    generate_fleet,
+    scaled_image_specs,
 )
 from repro.analysis.hare_analysis import find_hare_apps
 from repro.analysis.redirect_scan import REDIRECT_PREFIXES
@@ -183,28 +183,33 @@ def analyze_app(app: CorpusApp, classifier: InstallerClassifier,
     result = classifier.classify(app, program=program)
     targets: List[str] = []
     if scan_redirects:
-        for value in program.all_strings():
-            for prefix in REDIRECT_PREFIXES:
-                if value.startswith(prefix):
-                    targets.append(value[len(prefix):])
-                    break
-    from repro.analysis.corpus import WRITE_EXTERNAL
-
-    return AppAnalysis(
-        package=app.package,
-        category=result.category.value,
-        has_install_api=result.has_install_api,
-        uses_sdcard=result.uses_sdcard,
-        sets_world_readable=result.sets_world_readable,
-        unresolved_setter=result.unresolved_setter,
-        redirect_targets=tuple(targets),
-        instructions=result.instructions,
-        unparsed_lines=result.unparsed_lines,
-        detectors=tuple(result.detectors),
-        scanned_redirects=scan_redirects,
-        write_external=app.has_permission(WRITE_EXTERNAL),
-        instances=app.instances,
-    )
+        # One tuple-argument startswith rejects non-redirect strings in
+        # a single C call; only matches pay the per-prefix loop.
+        for value in program.string_list():
+            if value.startswith(REDIRECT_PREFIXES):
+                for prefix in REDIRECT_PREFIXES:
+                    if value.startswith(prefix):
+                        targets.append(value[len(prefix):])
+                        break
+    record = object.__new__(AppAnalysis)
+    # A frozen dataclass __init__ pays one object.__setattr__ per
+    # field; the direct __dict__ store is measurable at sweep scale.
+    object.__setattr__(record, "__dict__", {
+        "package": app.package,
+        "category": result.category.value,
+        "has_install_api": result.has_install_api,
+        "uses_sdcard": result.uses_sdcard,
+        "sets_world_readable": result.sets_world_readable,
+        "unresolved_setter": result.unresolved_setter,
+        "redirect_targets": tuple(targets),
+        "instructions": result.instructions,
+        "unparsed_lines": result.unparsed_lines,
+        "detectors": tuple(result.detectors),
+        "scanned_redirects": scan_redirects,
+        "write_external": WRITE_EXTERNAL in app.declared_permissions,
+        "instances": app.instances,
+    })
+    return record
 
 
 class AnalysisCache:
@@ -214,28 +219,31 @@ class AnalysisCache:
     version of every detector the verdict consulted.  A lookup misses
     when any consulted detector's current version differs — so bumping
     ``DETECTOR_VERSIONS["chmod"]`` re-analyzes exactly the apps whose
-    code reached the chmod detector, and nothing else.  Writes are
-    atomic (tmp + rename), so concurrent shards never see torn JSON.
+    code reached the chmod detector, and nothing else.
+
+    Storage is the :class:`~repro.analysis.cache.PackStore` pack
+    format: writes buffer in memory and :meth:`flush` (called once per
+    shard) emits one append-only, sha256-verified segment plus its
+    fanout index, so a warm run does O(segments) opens instead of one
+    per app.  Entries written by the legacy ``key[:2]/<key>.json``
+    layout stay readable — a legacy-populated cache warm-runs with
+    zero re-analysis before any segment exists.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 rotate_records: int = DEFAULT_ROTATE_RECORDS) -> None:
         self.root = root
-        os.makedirs(root, exist_ok=True)
+        self._store = PackStore(root, rotate_records=rotate_records)
 
     @staticmethod
     def key_for(app: CorpusApp) -> str:
         """sha256 of the smali text — the content address."""
         return hashlib.sha256(app.smali_text.encode("utf-8")).hexdigest()
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], key + ".json")
-
     def load(self, key: str) -> Optional[AppAnalysis]:
         """The cached record, or None on miss / stale detector versions."""
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        payload = self._store.get(key)
+        if payload is None:
             return None
         if payload.get("schema") != CACHE_SCHEMA:
             return None
@@ -269,59 +277,83 @@ class AnalysisCache:
             return None
 
     def store(self, key: str, record: AppAnalysis) -> None:
-        """Persist ``record`` with its consulted detector versions."""
+        """Buffer ``record`` with its consulted detector versions."""
         versions = {name: DETECTOR_VERSIONS[name]
                     for name in record.detectors
                     if name in DETECTOR_VERSIONS}
         if record.scanned_redirects:
             versions["redirect"] = REDIRECT_SCAN_VERSION
-        payload = {
+        self._store.put(key, {
             "schema": CACHE_SCHEMA,
             "key": key,
             "versions": versions,
             "record": asdict(record),
-        }
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=os.path.dirname(path),
-            prefix=".tmp-", suffix=".json", delete=False)
-        try:
-            with handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(handle.name, path)
-        except OSError:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        })
+
+    def flush(self) -> Optional[str]:
+        """Rotate buffered writes into a segment; its path, or None."""
+        return self._store.flush()
+
+    def iter_entries(self) -> Iterable[Tuple[str, Dict[str, int], dict]]:
+        """``(key, versions, record-dict)`` for every stored entry.
+
+        Walks pack segments, legacy per-app files, and the unflushed
+        write buffer — the test/inspection view of the cache.
+        """
+        for payload in self._store.iter_payloads():
+            key = payload.get("key")
+            record = payload.get("record")
+            if isinstance(key, str) and isinstance(record, dict):
+                yield key, payload.get("versions", {}), record
+
+    @property
+    def segment_count(self) -> int:
+        """Flushed pack segments currently readable under the root."""
+        return self._store.segment_count
+
+
+#: Interned tally keys: fold_analysis runs once per app, and f-string
+#: key construction was a visible slice of the warm path.
+_CATEGORY_KEYS: Dict[str, str] = {}
+_REDIRECT_COUNT_KEYS: Dict[int, str] = {}
 
 
 def fold_analysis(stats: AnalysisStats, record: AppAnalysis,
                   preinstalled: bool) -> None:
     """Fold one app's record into the shard tallies."""
-    stats.bump("apps")
-    stats.bump(f"category/{record.category}")
-    stats.bump("instructions", record.instructions)
+    counters = stats.counters
+    get = counters.get
+    counters["apps"] = get("apps", 0) + 1
+    key = _CATEGORY_KEYS.get(record.category)
+    if key is None:
+        key = _CATEGORY_KEYS[record.category] = f"category/{record.category}"
+    counters[key] = get(key, 0) + 1
+    counters["instructions"] = get("instructions", 0) + record.instructions
     if record.has_install_api:
-        stats.bump("installers")
+        counters["installers"] = get("installers", 0) + 1
     if record.write_external:
-        stats.bump("write_external")
+        counters["write_external"] = get("write_external", 0) + 1
     if record.unparsed_lines:
-        stats.bump("unparsed_lines", record.unparsed_lines)
-        stats.bump("apps_with_unparsed")
+        counters["unparsed_lines"] = (
+            get("unparsed_lines", 0) + record.unparsed_lines)
+        counters["apps_with_unparsed"] = get("apps_with_unparsed", 0) + 1
     if preinstalled:
-        stats.bump("instances", record.instances)
+        counters["instances"] = get("instances", 0) + record.instances
         if record.write_external:
-            stats.bump("write_external_instances", record.instances)
+            counters["write_external_instances"] = (
+                get("write_external_instances", 0) + record.instances)
     if record.scanned_redirects:
         count = len(record.redirect_targets)
         if count:
-            stats.bump("redirect/apps_with_any")
-            stats.bump(f"redirect_count/{count}")
+            counters["redirect/apps_with_any"] = (
+                get("redirect/apps_with_any", 0) + 1)
+            key = _REDIRECT_COUNT_KEYS.get(count)
+            if key is None:
+                key = _REDIRECT_COUNT_KEYS[count] = f"redirect_count/{count}"
+            counters[key] = get(key, 0) + 1
             if count == 1:
-                stats.bump("redirect/single_predictable")
+                counters["redirect/single_predictable"] = (
+                    get("redirect/single_predictable", 0) + 1)
 
 
 # ---------------------------------------------------------------------------
@@ -336,7 +368,9 @@ class AnalysisSpec:
     ``apps=None`` means paper scale (12,750 Play / 1,613 pre-installed
     unique apps / 1,855 factory images); any other value scales the
     corpus spec at the paper's trait rates via
-    :func:`~repro.analysis.corpus.scaled_play_spec` and friends.
+    :func:`~repro.analysis.corpus.scaled_play_spec` and friends — for
+    the images corpus, ``apps`` counts *images* and scales the fleet
+    through :func:`~repro.analysis.factory_images.scaled_image_specs`.
     """
 
     corpus: str = "play"
@@ -358,9 +392,7 @@ class AnalysisSpec:
         if self.apps is not None and self.apps < 1:
             raise ReproError("analysis needs at least one app")
         if self.corpus == "images" and self.apps is not None:
-            raise ReproError(
-                "the images corpus is fixed at the paper's fleet size; "
-                "drop --apps or pick play/preinstalled")
+            scaled_image_specs(self.apps)  # CorpusError on infeasible sizes
         parse_chaos(self.chaos)
 
     @property
@@ -372,7 +404,7 @@ class AnalysisSpec:
     def size(self) -> int:
         """Number of per-index work units (apps or images)."""
         if self.corpus == "images":
-            return sum(spec.image_count for spec in ALL_SPECS)
+            return sum(spec.image_count for spec in self.image_specs())
         return self.corpus_spec_size()
 
     def corpus_spec(self):
@@ -385,12 +417,19 @@ class AnalysisSpec:
                     if self.apps is not None else PreinstalledCorpusSpec())
         return None
 
+    def image_specs(self):
+        """The (possibly scaled) per-vendor fleet specs."""
+        return (scaled_image_specs(self.apps) if self.apps is not None
+                else ALL_SPECS)
+
     def corpus_spec_size(self) -> int:
         spec = self.corpus_spec()
         return spec.total if self.corpus == "play" else spec.unique_apps
 
     def plan(self):
         """The streaming corpus plan (validates the spec up front)."""
+        if self.corpus == "images":
+            return _image_plan(self.seed, self.image_specs())
         return corpus_plan(self.corpus, self.seed, self.corpus_spec())
 
     def shard(self, count: int) -> List["AnalysisShardSpec"]:
@@ -398,8 +437,7 @@ class AnalysisSpec:
         if count < 1:
             raise ReproError(f"shard count must be >= 1, got {count}")
         parse_chaos(self.chaos, shard_count=count)
-        if self.corpus != "images":
-            self.plan()  # fail on an infeasible spec before any work runs
+        self.plan()  # fail on an infeasible spec before any work runs
         base, extra = divmod(self.size, count)
         shards, start = [], 0
         for index in range(count):
@@ -412,16 +450,16 @@ class AnalysisSpec:
 
 
 @functools.lru_cache(maxsize=2)
-def _fleet_for_seed(seed: int) -> Fleet:
-    """Per-process fleet memo: warm workers amortize generation."""
-    return generate_fleet(seed)
+def _image_plan(seed: int, specs) -> FactoryImagePlan:
+    """Per-process plan memo: shards in one worker share the fleet."""
+    return FactoryImagePlan(seed, specs)
 
 
 @functools.lru_cache(maxsize=2)
-def _hare_permissions(seed: int) -> Tuple[Tuple[str, str], ...]:
+def _hare_permissions(seed: int, specs) -> Tuple[Tuple[str, str], ...]:
     """(package, permission) hare pairs from the sample images."""
     return tuple((hare.package, hare.permission)
-                 for hare in find_hare_apps(_fleet_for_seed(seed)))
+                 for hare in find_hare_apps(_image_plan(seed, specs).fleet()))
 
 
 @dataclass(frozen=True)
@@ -508,6 +546,10 @@ class AnalysisShardSpec:
                 metrics.histogram(
                     "analysis/instructions_per_app").observe(
                         record.instructions)
+        if cache is not None:
+            # One segment per shard: the warm re-run opens O(shards)
+            # index files instead of one JSON per analyzed app.
+            cache.flush()
         return hits, misses
 
     # -- per-image passes (hare + platform keys, Section IV-B) ----------------
@@ -515,15 +557,16 @@ class AnalysisShardSpec:
     def _execute_images(self, stats: AnalysisStats, recorder,
                         metrics) -> None:
         spec = self.campaign
-        fleet = _fleet_for_seed(spec.seed)
-        hare_pairs = _hare_permissions(spec.seed)
+        plan = _image_plan(spec.seed, spec.image_specs())
+        fleet = plan.fleet()
+        hare_pairs = _hare_permissions(spec.seed, spec.image_specs())
         hare_perms = [permission for _pkg, permission in hare_pairs]
         search_ids = set(fleet.search_image_ids)
         sample_ids = set(fleet.sample_image_ids)
         for package, permission in hare_pairs:
             stats.mark("hare/apps", f"{package}|{permission}")
         for index in range(self.start, self.stop):
-            image = fleet.images[index]
+            image = plan.image_at(index)
             vendor = image.vendor
             stats.bump("images")
             stats.bump(f"vendor/{vendor}/images")

@@ -36,40 +36,72 @@ form raises :class:`~repro.errors.SmaliParseError`; at fleet scale one
 odd app must not kill its whole shard, so ``parse_program(...,
 lenient=True)`` instead records the line in
 :attr:`SmaliProgram.unparsed` as evidence and keeps going.
+
+Parsing strategy
+----------------
+
+The original implementation tried five compiled regexes per
+instruction line (const-string, const-int, move, invoke, iget — in
+that order) plus a 19-way directive scan per line; at measurement
+scale (100k+ generated apps) that cascade dominated per-app wall
+clock.  The parser is now a **single-pass scanner**:
+
+- every directive starts with ``.`` and no instruction mnemonic does,
+  so one ``line[0] == "."`` test replaces all directive probing on
+  instruction lines;
+- the instruction mnemonic (first whitespace-delimited token) selects
+  an operand scanner from :data:`_DISPATCH` — a plain dict lookup —
+  and the scanner walks the operand text once with ``str`` primitives,
+  falling back to tiny anchored regexes only to validate rare operand
+  spellings exactly as the old patterns did (``\\d`` is Unicode-aware,
+  so e.g. ``v١`` must keep matching);
+- mnemonic spellings the token split cannot key (today: invokes with
+  no whitespace before ``{``, which ``\\s*`` used to admit) fall
+  through to :data:`_RARE_RE`, one combined alternation with named
+  groups;
+- results are memoised per *line text* (bounded by
+  :data:`_MEMO_CAP`): generated corpora share template lines across
+  thousands of apps, so most lines resolve to a dict hit.
+
+The scan is bug-for-bug equivalent to the regex cascade — same
+``Program``/``Instruction`` objects, same lenient-mode evidence, same
+exceptions (``int(..., 0)`` still rejects leading zeros, descending
+register ranges still raise even in lenient mode).  The retained
+cascade lives in ``tests/analysis/reference_smali.py`` and the
+differential property suite holds the two equal over every corpus.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SmaliParseError
 
-_INVOKE_RE = re.compile(
-    r"^invoke-(?:virtual|static|direct|interface|super)(?:/range)?\s*"
-    r"\{(?P<regs>[^}]*)\}\s*,\s*(?P<sig>\S.*)$"
-)
-_CONST_STRING_RE = re.compile(
-    r'^const-string(?:/jumbo)?\s+(?P<reg>[vp]\d+)\s*,\s*"(?P<value>.*)"$'
-)
-# const, const/4, const/16, const/high16, const-wide, const-wide/16,
-# const-wide/32, const-wide/high16 — the width suffix comes *after* the
-# optional -wide marker, which the previous pattern got backwards (it
-# accepted ``const-wide`` but not ``const-wide/16``).
-_CONST_INT_RE = re.compile(
-    r"^const(?:-wide)?(?:/(?:\d+|high16))?\s+(?P<reg>[vp]\d+)\s*,\s*"
-    r"(?P<value>-?(?:0x[0-9a-fA-F]+|\d+))(?:L)?$"
-)
-_MOVE_RE = re.compile(
-    r"^move(?:-object|-wide)?(?:/from16|/16)?\s+(?P<dst>[vp]\d+)\s*,\s*(?P<src>[vp]\d+)$"
-)
-_IGET_RE = re.compile(
-    r"^[is]get(?:-object|-boolean|-wide)?\s+(?P<reg>[vp]\d+)\s*,.*$"
+#: Rare instruction spellings the first-token dispatch cannot key,
+#: as one combined alternation with named groups.  Today that is the
+#: zero-whitespace invoke (``invoke-virtual{v0}, ...``) — the only
+#: supported form whose mnemonic is not whitespace-delimited (the old
+#: ``_INVOKE_RE`` used ``\s*`` before ``{``; every other form required
+#: ``\s+`` after its mnemonic).
+_RARE_RE = re.compile(
+    r"^(?:invoke-(?:virtual|static|direct|interface|super)(?:/range)?\s*"
+    r"\{(?P<invoke_regs>[^}]*)\}\s*,\s*(?P<invoke_sig>\S.*))$"
 )
 _RANGE_RE = re.compile(
     r"^(?P<kind>[vp])(?P<start>\d+)\s*\.\.\s*(?P=kind)(?P<stop>\d+)$"
 )
+#: Operand validators.  Tiny and anchored; ``\d`` deliberately matches
+#: Unicode digits exactly like the replaced patterns did.
+_REG_RE = re.compile(r"[vp]\d+$")
+_INT_RE = re.compile(r"-?(?:0x[0-9a-fA-F]+|\d+)L?$")
+_INVOKED_NAME_RE = re.compile(r"->(\w+)\(")
+
+#: Fast common-path register check: generated corpora use low ASCII
+#: register numbers, so a frozenset probe short-circuits the regex.
+_COMMON_REGS = frozenset(
+    f"{kind}{number}" for kind in "vp" for number in range(32))
 
 #: Block directives whose body lines are payload, not instructions.
 #: Annotations may nest (parameter annotations hold sub-annotations),
@@ -88,11 +120,26 @@ _SKIP_DIRECTIVES = (
     ".source", ".super", ".implements", ".field", ".end field",
     ".local", ".end local", ".restart local", ".catch", ".catchall",
 )
+#: The skip test the old parser ran as a 19-way generator expression,
+#: split into an exact-match set and a prefix tuple ``str.startswith``
+#: accepts directly.
+_SKIP_EXACT = frozenset(_SKIP_DIRECTIVES)
+_SKIP_PREFIXES = tuple(d + " " for d in _SKIP_DIRECTIVES)
+
+_BLOCK_EXACT = frozenset(_BLOCK_DIRECTIVES)
+_BLOCK_PREFIXES = tuple(d + " " for d in _BLOCK_DIRECTIVES)
 
 
 @dataclass(frozen=True)
 class Instruction:
-    """One parsed instruction."""
+    """One parsed instruction.
+
+    ``invoked_name`` (the bare method name of an invoke, e.g.
+    ``openFileOutput``) is computed once at construction time and
+    stored on the instance — it used to be a property running
+    ``re.search`` on every access, which the classifier hit per
+    invoke per detector.
+    """
 
     op: str                      # const-string | const-int | move | invoke | iget
     line_no: int
@@ -102,11 +149,14 @@ class Instruction:
     method_sig: str = ""         # for invokes: full Lpkg;->name(args)ret
     index: int = -1              # position in the owning method, set at parse time
 
-    @property
-    def invoked_name(self) -> str:
-        """Bare method name of an invoke (e.g. ``openFileOutput``)."""
-        match = re.search(r"->(\w+)\(", self.method_sig)
-        return match.group(1) if match else ""
+    def __post_init__(self) -> None:
+        sig = self.method_sig
+        if sig:
+            match = _INVOKED_NAME_RE.search(sig)
+            name = match.group(1) if match else ""
+        else:
+            name = ""
+        object.__setattr__(self, "invoked_name", name)
 
 
 @dataclass
@@ -192,14 +242,34 @@ class SmaliProgram:
         for cls in self.classes:
             yield from cls.methods
 
+    def string_list(self) -> List[str]:
+        """Every string constant, as a list computed once per program.
+
+        The analysis pipeline walks the program's strings several times
+        per app (install-marker probe, sdcard probe, redirect scan);
+        the flat list is built on first use and reused.  Callers must
+        not mutate the program's instructions after reading it — the
+        pipeline parses once and only reads from then on.
+        """
+        cached = self.__dict__.get("_string_list")
+        if cached is None:
+            cached = [
+                ins.literal
+                for cls in self.classes
+                for method in cls.methods
+                for ins in method.instructions
+                if ins.op == "const-string" and isinstance(ins.literal, str)
+            ]
+            self.__dict__["_string_list"] = cached
+        return cached
+
     def all_strings(self) -> Iterator[str]:
         """Every string constant in the program."""
-        for method in self.all_methods():
-            yield from method.string_constants()
+        return iter(self.string_list())
 
     def contains_string(self, needle: str) -> bool:
         """True if any string constant contains ``needle``."""
-        return any(needle in value for value in self.all_strings())
+        return any(needle in value for value in self.string_list())
 
     @property
     def instruction_count(self) -> int:
@@ -220,6 +290,174 @@ def _expand_registers(spec: str) -> Tuple[str, ...]:
     return tuple(reg.strip() for reg in spec.split(",") if reg.strip())
 
 
+def _is_register(token: str) -> bool:
+    return token in _COMMON_REGS or _REG_RE.match(token) is not None
+
+
+# ---------------------------------------------------------------------------
+# Operand scanners.  Each receives the text after the mnemonic token
+# (leading whitespace already consumed by the split) and returns the
+# memoisable shape ``(op, dest, sources, literal, method_sig,
+# invoked_name)`` — everything an Instruction needs except line_no and
+# index, which vary per occurrence.  ``None`` means the operands do
+# not match the form; because no mnemonic in the dispatch table can
+# begin a *different* supported form, a scanner miss is a parse miss.
+# ---------------------------------------------------------------------------
+
+_MISS = ("<miss>",)  # sentinel: line matches no supported form
+
+
+def _scan_const_string(rest: str):
+    comma = rest.find(",")
+    if comma < 0:
+        return None
+    register = rest[:comma].rstrip()
+    if not _is_register(register):
+        return None
+    value = rest[comma + 1:].lstrip()
+    # The old pattern was "(?P<value>.*)"$ — greedy, so the literal
+    # spans the first opening quote to the *last* quote on the line.
+    if len(value) < 2 or value[0] != '"' or value[-1] != '"':
+        return None
+    return ("const-string", register, (), value[1:-1], "", "")
+
+
+def _scan_const_int(rest: str):
+    comma = rest.find(",")
+    if comma < 0:
+        return None
+    register = rest[:comma].rstrip()
+    if not _is_register(register):
+        return None
+    value = rest[comma + 1:].lstrip()
+    if _INT_RE.match(value) is None:
+        return None
+    if value[-1] == "L":
+        value = value[:-1]
+    # int(..., 0) rejecting leading zeros ("007") is preserved: the
+    # ValueError propagates at parse time exactly as before.
+    return ("const-int", register, (), int(value, 0), "", "")
+
+
+def _scan_move(rest: str):
+    comma = rest.find(",")
+    if comma < 0:
+        return None
+    dest = rest[:comma].rstrip()
+    if not _is_register(dest):
+        return None
+    source = rest[comma + 1:].strip()
+    if not _is_register(source):
+        return None
+    return ("move", dest, (source,), None, "", "")
+
+
+def _scan_invoke(rest: str):
+    if not rest or rest[0] != "{":
+        return None
+    brace = rest.find("}", 1)
+    if brace < 0:
+        return None
+    tail = rest[brace + 1:].lstrip()
+    if not tail or tail[0] != ",":
+        return None
+    sig = tail[1:].strip()
+    if not sig:
+        return None
+    registers = _expand_registers(rest[1:brace])
+    match = _INVOKED_NAME_RE.search(sig)
+    invoked = match.group(1) if match else ""
+    return ("invoke", None, registers, None, sig, invoked)
+
+
+def _scan_iget(rest: str):
+    comma = rest.find(",")
+    if comma < 0:
+        return None
+    register = rest[:comma].rstrip()
+    if not _is_register(register):
+        return None
+    return ("iget", register, (), None, "", "")
+
+
+_DISPATCH = {}
+for _mnemonic in ("const-string", "const-string/jumbo"):
+    _DISPATCH[_mnemonic] = _scan_const_string
+for _wide in ("", "-wide"):
+    for _width in ("", "/4", "/16", "/32", "/high16"):
+        _DISPATCH[f"const{_wide}{_width}"] = _scan_const_int
+for _kind in ("move", "move-object", "move-wide"):
+    for _width in ("", "/from16", "/16"):
+        _DISPATCH[f"{_kind}{_width}"] = _scan_move
+for _kind in ("virtual", "static", "direct", "interface", "super"):
+    for _suffix in ("", "/range"):
+        _DISPATCH[f"invoke-{_kind}{_suffix}"] = _scan_invoke
+for _prefix in ("i", "s"):
+    for _suffix in ("", "-object", "-boolean", "-wide"):
+        _DISPATCH[f"{_prefix}get{_suffix}"] = _scan_iget
+del _mnemonic, _wide, _width, _kind, _suffix, _prefix
+
+#: Per-line-text scan memo.  Template lines recur across thousands of
+#: generated apps; unique lines (randomised URLs) stop being admitted
+#: once the cap is hit so memory stays bounded.  Values are the
+#: memoisable tuples, ``_MISS``, or a ``str`` — the message of the
+#: SmaliParseError the line deterministically raises.
+_SCAN_MEMO: Dict[str, object] = {}
+_MEMO_CAP = 65536
+
+
+def _proto(result) -> Dict[str, object]:
+    """Instruction prototype dict for the memo.
+
+    ``parse_program`` materialises an :class:`Instruction` from a memo
+    hit with one ``dict.copy`` plus the two per-occurrence fields
+    (``line_no``, ``index``) — measurably cheaper than rebuilding the
+    eight-key dict from a tuple on every hit.
+    """
+    op, dest, sources, literal, method_sig, invoked = result
+    return {
+        "op": op,
+        "line_no": 0,
+        "dest": dest,
+        "sources": sources,
+        "literal": literal,
+        "method_sig": method_sig,
+        "index": 0,
+        "invoked_name": invoked,
+    }
+
+
+def _scan_line(line: str):
+    """Classify one instruction line; see the scanner shape above."""
+    parts = line.split(None, 1)
+    scanner = _DISPATCH.get(parts[0])
+    if scanner is not None:
+        try:
+            result = scanner(parts[1] if len(parts) > 1 else "")
+        except SmaliParseError as error:  # descending register range
+            return str(error)
+        # A known mnemonic with non-matching operands cannot match any
+        # other supported form (only invoke admitted zero whitespace
+        # after its mnemonic, and no dispatch key starts with
+        # "invoke-" while naming a different form).
+        return _MISS if result is None else _proto(result)
+    match = _RARE_RE.match(line)
+    if match is not None:
+        sig = match.group("invoke_sig").strip()
+        try:
+            registers = _expand_registers(match.group("invoke_regs"))
+        except SmaliParseError as error:
+            return str(error)
+        name_match = _INVOKED_NAME_RE.search(sig)
+        invoked = name_match.group(1) if name_match else ""
+        return _proto(("invoke", None, registers, None, sig, invoked))
+    return _MISS
+
+
+_object_new = object.__new__
+_object_setattr = object.__setattr__
+
+
 def parse_program(text: str, lenient: bool = False) -> SmaliProgram:
     """Parse smali-like text into a :class:`SmaliProgram`.
 
@@ -229,13 +467,21 @@ def parse_program(text: str, lenient: bool = False) -> SmaliProgram:
     instead of aborting the parse.
     """
     program = SmaliProgram()
+    classes_append = program.classes.append
+    unparsed_append = program.unparsed.append
     current_class: Optional[SmaliClass] = None
-    current_method: Optional[SmaliMethod] = None
-    block_end: Optional[str] = None  # inside .annotation/.array-data/...
+    instructions: Optional[List[Instruction]] = None
+    instructions_append = None
+    block_end: Optional[str] = None
     block_depth = 0
     block_start: Optional[str] = None
-    for line_no, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.split("#", 1)[0].strip()
+    memo_get = _SCAN_MEMO.get
+    line_no = 0
+    for raw_line in text.splitlines():
+        line_no += 1
+        if "#" in raw_line:
+            raw_line = raw_line.split("#", 1)[0]
+        line = raw_line.strip()
         if not line:
             continue
         if block_end is not None:
@@ -246,77 +492,80 @@ def parse_program(text: str, lenient: bool = False) -> SmaliProgram:
             elif block_start is not None and line.startswith(block_start):
                 block_depth += 1  # nested annotation
             continue
-        if line.startswith(".class"):
-            current_class = SmaliClass(name=line.split(None, 1)[1])
-            program.classes.append(current_class)
-            current_method = None
-            continue
-        if line.startswith(".method"):
-            if current_class is None:
-                if lenient:
-                    program.unparsed.append((line_no, line))
-                    current_class = SmaliClass(name="<anonymous>")
-                    program.classes.append(current_class)
-                else:
-                    raise SmaliParseError(
-                        f"line {line_no}: method outside class")
-            current_method = SmaliMethod(name=line.split(None, 1)[1])
-            current_class.methods.append(current_method)
-            continue
-        if line.startswith(".end method"):
-            current_method = None
-            continue
-        matched_block = next(
-            (d for d in _BLOCK_DIRECTIVES
-             if line == d or line.startswith(d + " ")), None)
-        if matched_block is not None:
-            block_start = matched_block
-            block_end = _BLOCK_DIRECTIVES[matched_block]
-            block_depth = 1
-            continue
-        if any(line == d or line.startswith(d + " ")
-               for d in _SKIP_DIRECTIVES):
-            continue
-        if current_method is None:
+        if line[0] == ".":
+            # Directive ordering mirrors the original cascade exactly,
+            # prefix matches included.
+            if line.startswith(".class"):
+                current_class = SmaliClass(name=line.split(None, 1)[1])
+                classes_append(current_class)
+                instructions = None
+                continue
+            if line.startswith(".method"):
+                if current_class is None:
+                    if lenient:
+                        unparsed_append((line_no, line))
+                        current_class = SmaliClass(name="<anonymous>")
+                        classes_append(current_class)
+                    else:
+                        raise SmaliParseError(
+                            f"line {line_no}: method outside class")
+                method = SmaliMethod(name=line.split(None, 1)[1])
+                current_class.methods.append(method)
+                instructions = method.instructions
+                instructions_append = instructions.append
+                continue
+            if line.startswith(".end method"):
+                instructions = None
+                continue
+            if line in _BLOCK_EXACT:
+                matched_block = line
+            elif line.startswith(_BLOCK_PREFIXES):
+                matched_block = next(
+                    d for d in _BLOCK_DIRECTIVES if line.startswith(d + " "))
+            else:
+                matched_block = None
+            if matched_block is not None:
+                block_start = matched_block
+                block_end = _BLOCK_DIRECTIVES[matched_block]
+                block_depth = 1
+                continue
+            if line in _SKIP_EXACT or line.startswith(_SKIP_PREFIXES):
+                continue
+            # An unrecognised "." line falls through to the
+            # instruction path, like the original did.
+        if instructions is None:
             if lenient:
-                program.unparsed.append((line_no, line))
+                unparsed_append((line_no, line))
                 continue
             raise SmaliParseError(f"line {line_no}: instruction outside method")
-        instruction = _parse_instruction(
-            line, line_no, index=len(current_method.instructions),
-            lenient=lenient)
-        if instruction is None:
-            program.unparsed.append((line_no, line))
-        else:
-            current_method.instructions.append(instruction)
+        cached = memo_get(line)
+        if cached is None:
+            cached = _scan_line(line)
+            if len(_SCAN_MEMO) < _MEMO_CAP:
+                _SCAN_MEMO[line] = cached
+            elif cached.__class__ is dict:
+                # Past the memo cap the scan result is not shared, so
+                # the prototype can become the instruction's __dict__
+                # directly — app-unique lines (randomised URLs) skip
+                # the defensive copy.
+                cached["line_no"] = line_no
+                cached["index"] = len(instructions)
+                instruction = _object_new(Instruction)
+                _object_setattr(instruction, "__dict__", cached)
+                instructions_append(instruction)
+                continue
+        if cached.__class__ is dict:  # common case: an instruction
+            fields = cached.copy()
+            fields["line_no"] = line_no
+            fields["index"] = len(instructions)
+            instruction = _object_new(Instruction)
+            _object_setattr(instruction, "__dict__", fields)
+            instructions_append(instruction)
+            continue
+        if cached is _MISS:
+            if lenient:
+                unparsed_append((line_no, line))
+                continue
+            raise SmaliParseError(f"line {line_no}: cannot parse {line!r}")
+        raise SmaliParseError(cached)  # memoised deterministic error
     return program
-
-
-def _parse_instruction(line: str, line_no: int, index: int = -1,
-                       lenient: bool = False) -> Optional[Instruction]:
-    match = _CONST_STRING_RE.match(line)
-    if match:
-        return Instruction(op="const-string", line_no=line_no,
-                           dest=match.group("reg"),
-                           literal=match.group("value"), index=index)
-    match = _CONST_INT_RE.match(line)
-    if match:
-        return Instruction(op="const-int", line_no=line_no,
-                           dest=match.group("reg"),
-                           literal=int(match.group("value"), 0), index=index)
-    match = _MOVE_RE.match(line)
-    if match:
-        return Instruction(op="move", line_no=line_no, dest=match.group("dst"),
-                           sources=(match.group("src"),), index=index)
-    match = _INVOKE_RE.match(line)
-    if match:
-        registers = _expand_registers(match.group("regs"))
-        return Instruction(op="invoke", line_no=line_no, sources=registers,
-                           method_sig=match.group("sig").strip(), index=index)
-    match = _IGET_RE.match(line)
-    if match:
-        return Instruction(op="iget", line_no=line_no,
-                           dest=match.group("reg"), index=index)
-    if lenient:
-        return None
-    raise SmaliParseError(f"line {line_no}: cannot parse {line!r}")

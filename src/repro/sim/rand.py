@@ -17,6 +17,11 @@ T = TypeVar("T")
 
 _ALNUM = string.ascii_lowercase + string.digits
 
+#: The :meth:`DeterministicRandom.token` alphabet, public for callers
+#: that derive token-shaped strings outside this class (e.g. the corpus
+#: redirect-URL generator).
+TOKEN_ALPHABET = _ALNUM
+
 
 class DeterministicRandom:
     """A thin, explicit wrapper over :class:`random.Random`."""
@@ -57,8 +62,24 @@ class DeterministicRandom:
         return self._rng.random() < probability
 
     def choice(self, options: Sequence[T]) -> T:
-        """Pick one element uniformly."""
-        return self._rng.choice(options)
+        """Pick one element uniformly.
+
+        Implemented over raw ``getrandbits`` with the exact rejection
+        loop ``random.Random._randbelow_with_getrandbits`` runs, so the
+        underlying Mersenne-Twister stream advances identically to
+        ``random.Random.choice`` — corpus derivations stay byte-stable
+        — while skipping that path's Python-level indirection (this is
+        the corpus generator's hottest call).
+        """
+        size = len(options)
+        if not size:
+            raise IndexError("Cannot choose from an empty sequence")
+        getrandbits = self._rng.getrandbits
+        bits = size.bit_length()
+        value = getrandbits(bits)
+        while value >= size:
+            value = getrandbits(bits)
+        return options[value]
 
     def sample(self, options: Sequence[T], count: int) -> List[T]:
         """Pick ``count`` distinct elements."""
@@ -69,8 +90,21 @@ class DeterministicRandom:
         self._rng.shuffle(items)
 
     def token(self, length: int = 12) -> str:
-        """Random lowercase alphanumeric token (APK name randomization)."""
-        return "".join(self._rng.choice(_ALNUM) for _ in range(length))
+        """Random lowercase alphanumeric token (APK name randomization).
+
+        Same stream contract as :meth:`choice`: one 6-bit
+        ``getrandbits`` rejection loop per character, exactly what
+        ``choice(_ALNUM)`` used to consume, just without the per-char
+        wrapper overhead.
+        """
+        getrandbits = self._rng.getrandbits
+        chars = []
+        for _ in range(length):
+            value = getrandbits(6)
+            while value >= 36:  # len(_ALNUM); 6 == (36).bit_length()
+                value = getrandbits(6)
+            chars.append(_ALNUM[value])
+        return "".join(chars)
 
     def weighted_choice(self, options: Sequence[T], weights: Sequence[float]) -> T:
         """Pick one element with the given relative weights."""

@@ -119,3 +119,71 @@ def test_fleet_is_deterministic():
     assert [i.carrier for i in first.images[:50]] == [
         i.carrier for i in second.images[:50]
     ]
+
+
+# -- the index-addressable plan (scaled fleets) -----------------------------------
+
+
+def test_plan_at_paper_scale_matches_generate_fleet(fleet):
+    from repro.analysis.factory_images import FactoryImagePlan
+
+    plan = FactoryImagePlan(seed=2016)
+    assert plan.total == 1855
+    for index in (0, 700, 1238, 1239, 1620, 1621, 1854):
+        image = plan.image_at(index)
+        reference = fleet.images[index]
+        assert (image.vendor, image.model, image.carrier,
+                image.region_code, image.year_index, image.flagship) == (
+            reference.vendor, reference.model, reference.carrier,
+            reference.region_code, reference.year_index, reference.flagship)
+        assert ([app.record_id for app in image.apps]
+                == [app.record_id for app in reference.apps])
+    planned = plan.fleet()
+    assert planned.sample_image_ids == fleet.sample_image_ids
+    assert planned.search_image_ids == fleet.search_image_ids
+    assert planned.distinct_records() == fleet.distinct_records()
+
+
+def test_scaled_image_specs_preserve_vendor_mix():
+    from repro.analysis.factory_images import paper_image_total, scaled_image_specs
+    from repro.errors import CorpusError
+
+    assert scaled_image_specs(paper_image_total()) is ALL_SPECS
+    for total in (50, 200, 1855, 4000, 10000):
+        scaled = scaled_image_specs(total)
+        assert sum(spec.image_count for spec in scaled) == total
+        for spec, base in zip(scaled, ALL_SPECS):
+            assert spec.vendor == base.vendor
+            assert spec.model_count == base.model_count
+            assert spec.apps_per_image == base.apps_per_image
+            assert spec.platform_package_pool == base.platform_package_pool
+    # The three vendors keep (roughly) the paper's 67/21/13 percent mix.
+    scaled = scaled_image_specs(1000)
+    assert [spec.image_count for spec in scaled] == [668, 206, 126]
+    with pytest.raises(CorpusError):
+        scaled_image_specs(49)
+
+
+def test_scaled_fleet_keeps_traits_and_hare_density():
+    from repro.analysis.factory_images import (
+        HARE_APP_COUNT,
+        HARE_SAMPLE_IMAGES,
+        scaled_image_specs,
+    )
+
+    scaled = generate_fleet(seed=2016, specs=scaled_image_specs(300))
+    assert len(scaled.images) == 300
+    samsung = scaled.by_vendor("samsung")
+    assert len(scaled.search_image_ids) == len(samsung) - HARE_SAMPLE_IMAGES
+    assert len(scaled.hare_permissions) == HARE_APP_COUNT
+    for image in scaled.images:
+        spec = next(s for s in ALL_SPECS if s.vendor == image.vendor)
+        assert len(image.apps) == spec.apps_per_image
+    # Hare density stays at the paper's ~23.5 cases per searched image.
+    search = {image.image_id: image for image in samsung}
+    cases = 0
+    for image_id in scaled.search_image_ids:
+        defined = search[image_id].defined_permissions()
+        cases += sum(1 for permission in scaled.hare_permissions
+                     if permission not in defined)
+    assert cases / len(scaled.search_image_ids) == pytest.approx(23.5, abs=0.6)

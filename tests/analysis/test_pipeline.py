@@ -168,6 +168,15 @@ def test_images_sharding_is_split_invariant(images_report):
     assert other.stats.identity_tuple() == images_report.stats.identity_tuple()
 
 
+def test_scaled_images_corpus_shards_by_global_index():
+    spec = AnalysisSpec(corpus="images", apps=150)
+    serial = run_serial(spec, shards=1)
+    assert serial.stats.count("images") == 150
+    for shards in (4, 7):
+        assert (run_serial(spec, shards=shards).stats.identity_tuple()
+                == serial.stats.identity_tuple())
+
+
 # -- the content-addressed cache --------------------------------------------------
 
 
@@ -188,11 +197,9 @@ def test_detector_version_bump_invalidates_only_consulted_apps(
     # Count apps whose verdict consulted the chmod detector: only
     # installers reach setter analysis, and of those only the ones whose
     # code invokes Runtime.exec.
-    consulted = 0
-    for entry in tmp_path.rglob("*.json"):
-        payload = json.loads(entry.read_text())
-        if "chmod" in payload["versions"]:
-            consulted += 1
+    cache = AnalysisCache(str(tmp_path))
+    consulted = sum(1 for _key, versions, _record in cache.iter_entries()
+                    if "chmod" in versions)
     assert 0 < consulted < 400
     monkeypatch.setitem(classifier_mod.DETECTOR_VERSIONS, "chmod", 2)
     warm = run_serial(spec, shards=2)
@@ -221,7 +228,7 @@ def test_spec_rejects_unknown_corpus_and_bad_sizes():
     with pytest.raises(ReproError):
         AnalysisSpec(corpus="play", apps=0)
     with pytest.raises(ReproError):
-        AnalysisSpec(corpus="images", apps=500)
+        AnalysisSpec(corpus="images", apps=10)  # below the 50-image floor
     with pytest.raises(ReproError):
         AnalysisSpec(corpus="play").shard(0)
 

@@ -259,7 +259,15 @@ def test_analyze_trace_and_metrics(tmp_path, capsys):
     assert all(record["name"] == "analysis/app" for record in records)
 
 
-def test_analyze_images_apps_flag_rejected(capsys):
+def test_analyze_images_apps_scales_the_fleet(capsys):
     assert main(["analyze", "--corpus", "images", "--apps", "99",
+                 "--backend", "serial", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "size=99" in out
+    assert "images analyzed         : 99" in out
+
+
+def test_analyze_images_apps_below_floor_rejected(capsys):
+    assert main(["analyze", "--corpus", "images", "--apps", "10",
                  "--quiet"]) == 2
-    assert "fixed at the paper's fleet size" in capsys.readouterr().err
+    assert "at least 50 images" in capsys.readouterr().err

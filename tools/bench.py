@@ -94,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(apps/s) instead of the install engine")
     parser.add_argument("--apps", type=int, default=DEFAULT_APPS,
                         help="scaled Play-corpus size in --analyze mode")
+    parser.add_argument("--warm", action="store_true",
+                        help="in --analyze mode, also time a cold-"
+                             "populate + warm re-run through a fresh "
+                             "analysis cache; recorded as baseline "
+                             "metadata (the gate still compares the "
+                             "cold, cache-free wall clock)")
     parser.add_argument("--telemetry", action="store_true",
                         help="run the timed fleets with per-shard "
                              "telemetry sampling on (measures the "
@@ -134,6 +140,49 @@ def time_analysis(apps: int, shards: int, backend: str, seed: int,
                 f"benchmark analysis covered {report.stats.runs} apps, "
                 f"expected {apps}")
     return runs
+
+
+def time_analysis_warm(apps: int, shards: int, backend: str, seed: int,
+                       telemetry: bool = False) -> dict:
+    """Cold-populate + warm re-run timings through a fresh pack cache.
+
+    The warm run must serve every app from the cache (0 analyzed) and
+    reproduce the cold stats exactly — both are asserted, so the warm
+    number can never come from doing different work.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.pipeline import AnalysisSpec, run_analysis
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-analysis-cache-")
+    try:
+        spec = AnalysisSpec(corpus="play", apps=apps, seed=seed,
+                            cache_dir=cache_dir)
+        started = time.perf_counter()
+        cold = run_analysis(spec, shards=shards, backend=backend,
+                            telemetry=telemetry)
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_analysis(spec, shards=shards, backend=backend,
+                            telemetry=telemetry)
+        warm_seconds = time.perf_counter() - started
+        hits = warm.counters.get("cache_hits", 0)
+        misses = warm.counters.get("cache_misses", 0)
+        if misses or hits != apps:
+            raise ReproError(
+                f"warm analysis re-analyzed {misses} app(s) "
+                f"({hits} hit(s)); the cache must serve all {apps}")
+        if warm.stats.counters != cold.stats.counters:
+            raise ReproError("warm analysis stats diverged from cold")
+        return {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "warm_throughput": round(apps / warm_seconds, 2),
+            "warm_hits": hits,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def profile_fleet(spec: CampaignSpec, shards: int, backend: str,
@@ -226,6 +275,7 @@ def main(argv=None) -> int:
                 f"backend={args.backend}, seed={args.seed}"
                 + (", telemetry=on" if args.telemetry else ""))
         exit_code = 0
+        warm_info = None
         if args.write or args.compare:
             if args.analyze:
                 runs = time_analysis(args.apps, args.shards, args.backend,
@@ -241,6 +291,15 @@ def main(argv=None) -> int:
                 f"  best     : {best:.3f}s "
                 f"({size / best:.0f} {unit}/s)",
             ]
+            if args.warm and args.analyze:
+                warm_info = time_analysis_warm(
+                    args.apps, args.shards, args.backend, args.seed,
+                    telemetry=args.telemetry)
+                lines.append(
+                    f"  warm     : {warm_info['warm_seconds']:.3f}s "
+                    f"({warm_info['warm_throughput']:.0f} {unit}/s from "
+                    f"cache, {warm_info['warm_hits']} hit(s), 0 analyzed; "
+                    f"cold populate {warm_info['cold_seconds']:.3f}s)")
         if args.inject_slowdown and (args.write or args.compare):
             lines.append(
                 f"  injected : +{args.inject_slowdown * 100.0:.1f}% "
@@ -260,6 +319,9 @@ def main(argv=None) -> int:
                 # block never affects a pass/fail verdict.
                 meta={"seed": args.seed, "unit": unit,
                       "telemetry": bool(args.telemetry),
+                      # Cache-path evidence only: the regression gate
+                      # compares the cold, cache-free wall_seconds.
+                      **({"warm": warm_info} if warm_info else {}),
                       "host": host_metadata()},
             )
             save_baseline(args.write, baseline)
