@@ -259,6 +259,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         chaos=args.chaos,
         observe=observe,
         keep_outcomes=args.keep_outcomes,
+        watch_queue_depth=args.watch_depth,
+        watch_drain_interval_ns=args.watch_drain_ns,
+        watch_coalesce=args.watch_coalesce,
     )
     progress = NullProgress() if args.quiet else ConsoleProgress()
     engine_metrics = None
@@ -365,6 +368,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import Fuzzer, default_corpus_dir
     from repro.obs import NULL_RECORDER
 
+    if args.replay:
+        return _replay_corpus_files(args)
     recorder, metrics = _obs_of(args)
     corpus_dir = None if args.no_corpus else (
         args.corpus or default_corpus_dir())
@@ -375,6 +380,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         force_shards=args.shards,
         sabotage_defense=args.break_defense,
+        strict_lossy=args.strict_lossy,
         corpus_dir=corpus_dir,
         recorder=recorder if recorder is not None else NULL_RECORDER,
         metrics=metrics,
@@ -385,6 +391,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               recorder.records() if recorder is not None else None,
               metrics.snapshot() if metrics is not None else None)
     return 0 if report.ok else 1
+
+
+def _replay_corpus_files(args: argparse.Namespace) -> int:
+    """Replay explicit corpus entry files against their expectations.
+
+    Exit 0 iff every entry meets its recorded ``expect``; each entry's
+    recorded ``strict_lossy``/``sabotage`` knobs govern its judging
+    (the CLI flags do not override them).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.fuzz.corpus import replay_entry
+
+    failures = 0
+    for name in args.replay:
+        path = Path(name)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        ok, violations = replay_entry(entry, backend=args.backend)
+        verdict = "ok" if ok else "FAILED"
+        print(f"replay {path.name}: expect={entry.get('expect')} "
+              f"-> {verdict}")
+        for violation in violations:
+            print(f"  {violation}")
+        if not ok:
+            failures += 1
+    print(f"replay: {len(args.replay) - failures}/{len(args.replay)} "
+          "entr(ies) met expectations")
+    return 0 if failures == 0 else 1
 
 
 def _client_of(args: argparse.Namespace):
@@ -693,6 +728,12 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                              "benchmarks/results/HOTSPOTS_<cmd>.txt)")
 
 
+#: Defense names the scenario layer accepts (keep in sync with
+#: :data:`repro.core.scenario.VALID_DEFENSES`).
+_DEFENSE_CHOICES = ["dapp", "dapp-rescan", "fuse-dac", "intent-detection",
+                    "intent-origin"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -718,8 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--attack", default="fileobserver",
                         choices=sorted(ATTACKS))
     attack.add_argument("--defense", action="append", default=[],
-                        choices=["dapp", "fuse-dac", "intent-detection",
-                                 "intent-origin"])
+                        choices=_DEFENSE_CHOICES)
     attack.add_argument("--package", default="com.victim.app")
 
     sub.add_parser("tables", help="regenerate Tables II-VI",
@@ -736,10 +776,20 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(all_installer_types()))
     fleet.add_argument("--attack", default="none", choices=sorted(ATTACKS))
     fleet.add_argument("--defense", action="append", default=[],
-                       choices=["dapp", "fuse-dac", "intent-detection",
-                                "intent-origin"])
+                       choices=_DEFENSE_CHOICES)
     fleet.add_argument("--device", default="nexus5",
                        choices=sorted(DEVICES))
+    fleet.add_argument("--watch-depth", type=int, default=None,
+                       metavar="N",
+                       help="bound every FileObserver watch queue to N "
+                            "pending events (default: lossless)")
+    fleet.add_argument("--watch-drain-ns", type=int, default=None,
+                       metavar="NS",
+                       help="simulated per-event drain interval for "
+                            "bounded watch queues")
+    fleet.add_argument("--watch-coalesce", action="store_true",
+                       help="drop a watch event when it duplicates the "
+                            "newest queued one (inotify-style merge)")
     fleet.add_argument("--shards", type=int, default=None,
                        help="shard count (default: one per worker)")
     fleet.add_argument("--workers", type=int, default=None,
@@ -822,10 +872,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-corpus", action="store_true",
                       help="do not write shrunk failures to the corpus")
     fuzz.add_argument("--break-defense", default=None, metavar="NAME",
-                      choices=["dapp", "fuse-dac", "intent-detection",
-                               "intent-origin"],
+                      choices=_DEFENSE_CHOICES,
                       help="test-only: suppress one defense's reactions "
                            "to prove the oracles notice")
+    fuzz.add_argument("--strict-lossy", action="store_true",
+                      help="hold plain dapp to full completeness even on "
+                           "lossy-watcher devices (proves watcher-flood "
+                           "defeats the notify-only detector)")
+    fuzz.add_argument("--replay", action="append", default=[],
+                      metavar="FILE",
+                      help="replay corpus entry FILE(s) against their "
+                           "recorded expectations instead of fuzzing")
 
     serve_common = argparse.ArgumentParser(add_help=False)
     serve_common.add_argument("--state-dir", metavar="DIR",
@@ -862,8 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(all_installer_types()))
     submit.add_argument("--attack", default="none", choices=sorted(ATTACKS))
     submit.add_argument("--defense", action="append", default=[],
-                        choices=["dapp", "fuse-dac", "intent-detection",
-                                 "intent-origin"])
+                        choices=_DEFENSE_CHOICES)
     submit.add_argument("--device", default="nexus5",
                         choices=sorted(DEVICES))
     submit.add_argument("--shards", type=int, default=None,

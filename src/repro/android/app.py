@@ -108,8 +108,14 @@ class App:
 
     def file_observer(self, directory: str,
                       mask: Optional[Iterable[FileEventType]] = None) -> FileObserver:
-        """Create a FileObserver on ``directory`` (requires no permission)."""
-        return FileObserver(self.system.hub, directory, mask=mask)
+        """Create a FileObserver on ``directory`` (requires no permission).
+
+        The observer inherits the device's inotify loss model
+        (``system.watch_limits``) — apps cannot opt out of firmware
+        queue bounds any more than real ones can.
+        """
+        return FileObserver(self.system.hub, directory, mask=mask,
+                            limits=self.system.watch_limits)
 
     # -- IPC --------------------------------------------------------------------------
 

@@ -11,10 +11,11 @@ the low-end-device pressure of Section II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.android.download_manager import SymlinkMode
 from repro.android.storage import GB
+from repro.sim.events import WatchLimits
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,9 @@ class DeviceProfile:
     internal_used_bytes: int = 6 * GB
     external_capacity_bytes: int = 32 * GB
     region: str = "US"
+    #: Firmware-level inotify loss model applied to every FileObserver
+    #: on the device (``None`` = lossless, the historical behaviour).
+    watch_limits: Optional[WatchLimits] = None
 
     @property
     def runtime_permissions(self) -> bool:

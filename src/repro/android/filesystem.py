@@ -65,6 +65,10 @@ class FileEventType(enum.Enum):
     MOVED_FROM = "MOVED_FROM"
     MOVED_TO = "MOVED_TO"
     DELETE = "DELETE"
+    #: Synthesized when a bounded watch queue overflowed and events
+    #: were lost — inotify's ``IN_Q_OVERFLOW`` (never emitted by the
+    #: filesystem itself; see :class:`repro.sim.events.WatchLimits`).
+    Q_OVERFLOW = "Q_OVERFLOW"
 
 
 @dataclass(frozen=True)

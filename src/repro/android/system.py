@@ -54,6 +54,9 @@ class AndroidSystem:
         self.metrics = metrics
         self.kernel = Kernel(recorder=self.obs, metrics=metrics)
         self.hub = EventHub(self.kernel)
+        #: Device-wide inotify loss model (None = lossless); every
+        #: FileObserver created through App.file_observer inherits it.
+        self.watch_limits = self.profile.watch_limits
         self.rng = DeterministicRandom(seed)
         self.layout = StorageLayout()
         self.fs = Filesystem(self.hub, self.kernel.clock)

@@ -6,6 +6,9 @@ One module per attack family, each tagged with the AIT step it breaks:
   hijacking (Step 3),
 - :mod:`repro.attacks.wait_and_see` — the timing-only variant that
   needs no FileObserver (Step 3),
+- :mod:`repro.attacks.watcher_flood` — the wait-and-see strike behind
+  an event flood that overflows the defender's bounded watch queue
+  (Step 3, only effective on devices with lossy watchers),
 - :mod:`repro.attacks.dm_symlink` — the Download Manager symlink
   TOCTOU (Step 2),
 - :mod:`repro.attacks.redirect_intent` — UI redirection through the
@@ -20,6 +23,7 @@ One module per attack family, each tagged with the AIT step it breaks:
 from repro.attacks.base import ATTACKER_PACKAGE, MaliciousApp, StoreFingerprint
 from repro.attacks.toctou import FileObserverHijacker
 from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.attacks.watcher_flood import WatcherFloodHijacker
 from repro.attacks.dm_symlink import DMSymlinkAttacker
 from repro.attacks.redirect_intent import RedirectIntentAttacker
 from repro.attacks.command_injection import (
@@ -39,6 +43,7 @@ __all__ = [
     "StoreFingerprint",
     "FileObserverHijacker",
     "WaitAndSeeHijacker",
+    "WatcherFloodHijacker",
     "DMSymlinkAttacker",
     "RedirectIntentAttacker",
     "AmazonJsInjectionAttacker",

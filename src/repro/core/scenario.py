@@ -56,7 +56,8 @@ DEVELOPER_KEY = SigningKey("legit-developer", "release")
 AIT_BUDGET_NS = seconds(60)
 
 DefenseName = str
-VALID_DEFENSES = ("dapp", "fuse-dac", "intent-detection", "intent-origin")
+VALID_DEFENSES = ("dapp", "dapp-rescan", "fuse-dac", "intent-detection",
+                  "intent-origin")
 
 
 @dataclass
@@ -177,9 +178,17 @@ class Scenario:
                 raise ReproError(
                     f"unknown defense {name!r}; valid: {VALID_DEFENSES}"
                 )
+        if "dapp" in defenses and "dapp-rescan" in defenses:
+            # Both are the same protection app (org.gia.dapp); a device
+            # runs one or the other, never both.
+            raise ReproError("defenses 'dapp' and 'dapp-rescan' are "
+                             "mutually exclusive variants of the same app")
         if "fuse-dac" in defenses:
             self.fuse_dac = install_fuse_dac(self.system)
-        if "dapp" in defenses:
+        if "dapp" in defenses or "dapp-rescan" in defenses:
+            from repro.defenses.dapp_rescan import DappRescan
+
+            dapp_cls = DappRescan if "dapp-rescan" in defenses else Dapp
             staging = self.installer.profile.staging_dir(
                 self.system.layout.app_private_dir(self.installer.package)
             )
@@ -191,7 +200,7 @@ class Scenario:
                 .build(DEVELOPER_KEY)
             )
             self.system.install_user_app(dapp_apk, installer="com.android.vending")
-            self.dapp = Dapp(watch_dirs=[staging])
+            self.dapp = dapp_cls(watch_dirs=[staging])
             self.system.attach(self.dapp)
         if "intent-detection" in defenses:
             self.intent_detection = IntentDetectionScheme().install(self.system.firewall)

@@ -3,6 +3,9 @@
 - :mod:`repro.defenses.dapp` — the user-level app (no OS changes):
   signature grab at download completion, verification at install,
   race-condition heuristics on the event stream,
+- :mod:`repro.defenses.dapp_rescan` — the hybrid variant: DAPP's
+  notify path plus offline directory rescans triggered by watch-queue
+  overflow (restores detection against ``watcher-flood``),
 - :mod:`repro.defenses.fuse_dac` — the system-level FUSE DAC scheme:
   640-mode APKs, owner-only writes enforced in
   ``check_caller_access_to_name``, path-alteration guard in
@@ -14,12 +17,14 @@
 """
 
 from repro.defenses.dapp import Dapp
+from repro.defenses.dapp_rescan import DappRescan
 from repro.defenses.fuse_dac import HardenedFuseDaemon, install_fuse_dac
 from repro.defenses.intent_detection import IntentDetectionScheme
 from repro.defenses.intent_origin import IntentOriginScheme
 
 __all__ = [
     "Dapp",
+    "DappRescan",
     "HardenedFuseDaemon",
     "install_fuse_dac",
     "IntentDetectionScheme",

@@ -19,6 +19,7 @@ bit-identical for any shard count and worker count.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
@@ -34,9 +35,11 @@ from repro.android.device import (
 from repro.attacks.base import MaliciousApp, fingerprint_for
 from repro.attacks.toctou import FileObserverHijacker
 from repro.attacks.wait_and_see import WaitAndSeeHijacker
+from repro.attacks.watcher_flood import WatcherFloodHijacker
 from repro.core.scenario import VALID_DEFENSES, Scenario
 from repro.errors import ReproError
 from repro.installers import installer_by_name
+from repro.sim.events import DEFAULT_DRAIN_INTERVAL_NS, WatchLimits
 from repro.sim.rand import DeterministicRandom
 
 #: Attacks a spec may name.  ``None`` means a defense-only / benign run.
@@ -44,6 +47,7 @@ ATTACKS: Dict[str, Optional[Type[MaliciousApp]]] = {
     "none": None,
     "fileobserver": FileObserverHijacker,
     "wait-and-see": WaitAndSeeHijacker,
+    "watcher-flood": WatcherFloodHijacker,
 }
 
 #: Device profiles a spec may name.
@@ -156,6 +160,14 @@ class CampaignSpec:
     #: Poll interval of the ``wait-and-see`` attacker in simulated ns
     #: (None = the attack's default); a fuzzable timing offset.
     poll_interval_ns: Optional[int] = None
+    #: Device-wide FileObserver queue bound (None = lossless watchers,
+    #: the historical behaviour).  See repro.sim.events.WatchLimits.
+    watch_queue_depth: Optional[int] = None
+    #: Simulated consumer latency per delivered watch event; None with
+    #: a queue depth set means the device default drain interval.
+    watch_drain_interval_ns: Optional[int] = None
+    #: Coalesce identical consecutive pending watch events.
+    watch_coalesce: bool = False
     #: Test-only: neuter the named (enabled) defense after
     #: provisioning — it stays installed but stops reacting.  Exists so
     #: the fuzz completeness oracle can prove it detects a broken
@@ -205,6 +217,33 @@ class CampaignSpec:
             raise ReproError(
                 f"sabotage_defense {self.sabotage_defense!r} is not one of "
                 f"the enabled defenses {self.defenses}")
+        if "dapp" in self.defenses and "dapp-rescan" in self.defenses:
+            raise ReproError("defenses 'dapp' and 'dapp-rescan' are "
+                             "mutually exclusive variants of the same app")
+        if (self.watch_queue_depth is not None
+                and self.watch_queue_depth < 1):
+            raise ReproError(
+                f"watch_queue_depth must be >= 1, "
+                f"got {self.watch_queue_depth}")
+        if (self.watch_drain_interval_ns is not None
+                and self.watch_drain_interval_ns < 0):
+            raise ReproError(
+                f"watch_drain_interval_ns must be >= 0, "
+                f"got {self.watch_drain_interval_ns}")
+
+    def watch_limits(self) -> Optional[WatchLimits]:
+        """The device-wide loss model these axes describe (None = lossless)."""
+        if (self.watch_queue_depth is None
+                and self.watch_drain_interval_ns is None
+                and not self.watch_coalesce):
+            return None
+        drain = self.watch_drain_interval_ns
+        if drain is None:
+            drain = (DEFAULT_DRAIN_INTERVAL_NS
+                     if self.watch_queue_depth is not None else 0)
+        return WatchLimits(max_queue_depth=self.watch_queue_depth,
+                           drain_interval_ns=drain,
+                           coalesce=self.watch_coalesce)
 
     # -- serialization (the serve protocol's wire form) ------------------------
 
@@ -357,10 +396,14 @@ class ShardSpec:
                 kwargs["poll_interval_ns"] = spec.poll_interval_ns
             factory = lambda s: attacker_cls(fingerprint_for(installer_cls),
                                              **kwargs)
+        device = DEVICES[spec.device]()
+        limits = spec.watch_limits()
+        if limits is not None:
+            device = dataclasses.replace(device, watch_limits=limits)
         scenario = Scenario.build(
             installer=installer_cls,
             attacker_factory=factory,
-            device=DEVICES[spec.device](),
+            device=device,
             defenses=spec.defenses,
             seed=self.seed,
             recorder=recorder,
@@ -388,6 +431,7 @@ class ShardSpec:
 #: The scenario attribute holding each defense object, by spec name.
 _DEFENSE_ATTRS = {
     "dapp": "dapp",
+    "dapp-rescan": "dapp",  # same protection app, hybrid variant
     "fuse-dac": "fuse_dac",
     "intent-detection": "intent_detection",
     "intent-origin": "intent_origin",

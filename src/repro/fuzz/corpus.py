@@ -46,8 +46,14 @@ def corpus_file_name(oracle: str, case: FuzzCase) -> str:
 def corpus_entry(oracle: str, case: FuzzCase, note: str = "",
                  expect: str = "pass",
                  sabotage: Optional[str] = None,
+                 strict_lossy: bool = False,
                  violation: str = "") -> Dict[str, Any]:
-    """Build one corpus entry (a JSON-ready dict)."""
+    """Build one corpus entry (a JSON-ready dict).
+
+    ``strict_lossy`` is recorded so replay judges the case under the
+    same completeness regime it was found under (see
+    :class:`~repro.fuzz.oracles.FuzzRun`).
+    """
     if oracle not in ORACLES:
         raise ReproError(f"unknown oracle {oracle!r}; valid: {tuple(ORACLES)}")
     if expect not in _EXPECTATIONS:
@@ -58,6 +64,7 @@ def corpus_entry(oracle: str, case: FuzzCase, note: str = "",
         "oracle": oracle,
         "expect": expect,
         "sabotage": sabotage,
+        "strict_lossy": strict_lossy,
         "note": note,
         "violation": violation,
         "case": json.loads(case.to_json()),
@@ -67,12 +74,14 @@ def corpus_entry(oracle: str, case: FuzzCase, note: str = "",
 def write_corpus_case(directory: Path, oracle: str, case: FuzzCase,
                       note: str = "", expect: str = "pass",
                       sabotage: Optional[str] = None,
+                      strict_lossy: bool = False,
                       violation: str = "") -> Path:
     """Write one entry; returns the path.  Idempotent per (oracle, case)."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     entry = corpus_entry(oracle, case, note=note, expect=expect,
-                         sabotage=sabotage, violation=violation)
+                         sabotage=sabotage, strict_lossy=strict_lossy,
+                         violation=violation)
     path = directory / corpus_file_name(oracle, case)
     path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
@@ -132,7 +141,8 @@ def replay_entry(entry: Dict[str, Any],
 
     case = FuzzCase.from_json(json.dumps(entry["case"]))
     run = execute_case(case, sabotage_defense=entry.get("sabotage"),
-                       backend=backend)
+                       backend=backend,
+                       strict_lossy=bool(entry.get("strict_lossy", False)))
     if entry["expect"] == "pass":
         violations = _check(run, tuple(ORACLES))
         return (not violations, violations)

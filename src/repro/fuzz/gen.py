@@ -36,7 +36,8 @@ FUZZ_INSTALLERS: Tuple[str, ...] = tuple(sorted(all_installer_types()))
 #: Attack names a case may draw, with sampling weights: benign
 #: schedules must stay common enough to exercise the soundness oracle.
 FUZZ_ATTACKS: Tuple[str, ...] = tuple(sorted(ATTACKS))
-_ATTACK_WEIGHTS = {"none": 0.30, "fileobserver": 0.40, "wait-and-see": 0.30}
+_ATTACK_WEIGHTS = {"none": 0.25, "fileobserver": 0.30, "wait-and-see": 0.25,
+                   "watcher-flood": 0.20}
 
 #: Device profile names a case may draw.
 FUZZ_DEVICES: Tuple[str, ...] = tuple(sorted(DEVICES))
@@ -58,6 +59,18 @@ _MIN_SIZE = 512
 _MAX_SIZE = 8192
 _MIN_POLL_NS = millis(5)
 _MAX_POLL_NS = millis(300)
+
+#: Chance a case runs on a device with a bounded (lossy) watch queue,
+#: and the depths/drain intervals it may draw.  Depths start at 8 so
+#: benign event pressure (a download burst plus DAPP's own grab reads)
+#: never overflows on its own — only attacks do, which keeps the
+#: soundness oracle meaningful under loss.
+_LOSSY_CHANCE = 0.30
+_WATCH_DEPTHS = (8, 16, 32, 64, 128)
+_WATCH_DRAINS_NS = (millis(2), millis(5))
+_COALESCE_CHANCE = 0.25
+#: When the dapp slot is drawn, chance it is the hybrid rescan variant.
+_RESCAN_VARIANT_CHANCE = 0.50
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,16 @@ class FuzzCase:
     arm_attacker: bool = True
     rearm_between: bool = True
     chaos: Optional[str] = None
+    #: Device watch-queue loss axes (None/False = lossless watchers).
+    #: Optional in the JSON form so pre-lossy corpus entries replay.
+    watch_queue_depth: Optional[int] = None
+    watch_drain_interval_ns: Optional[int] = None
+    watch_coalesce: bool = False
+
+    @property
+    def lossy_watchers(self) -> bool:
+        """True when the device can actually drop watch events."""
+        return self.watch_queue_depth is not None
 
     # -- lowering --------------------------------------------------------------
 
@@ -113,6 +136,9 @@ class FuzzCase:
             permission_pool=PERMISSION_POOL if self.max_extra_permissions else (),
             max_extra_permissions=self.max_extra_permissions,
             poll_interval_ns=self.poll_interval_ns,
+            watch_queue_depth=self.watch_queue_depth,
+            watch_drain_interval_ns=self.watch_drain_interval_ns,
+            watch_coalesce=self.watch_coalesce,
             sabotage_defense=sabotage_defense,
         )
         spec.shard(self.shards)  # validates chaos indices against the count
@@ -138,7 +164,11 @@ class FuzzCase:
         if unknown:
             raise ReproError(
                 f"fuzz case JSON has unknown field(s): {sorted(unknown)}")
-        missing = known - set(data)
+        # The watcher-loss axes postdate the corpus format; entries
+        # written before them mean "lossless", which is the default.
+        optional = {"watch_queue_depth", "watch_drain_interval_ns",
+                    "watch_coalesce"}
+        missing = known - set(data) - optional
         if missing:
             raise ReproError(
                 f"fuzz case JSON is missing field(s): {sorted(missing)}")
@@ -161,6 +191,12 @@ class FuzzCase:
             bits.append(f"chaos={self.chaos}")
         if self.poll_interval_ns is not None:
             bits.append(f"poll={self.poll_interval_ns}ns")
+        if self.watch_queue_depth is not None:
+            drain = self.watch_drain_interval_ns
+            bits.append(f"watch-depth={self.watch_queue_depth}"
+                        + (f"/drain={drain}ns" if drain is not None else ""))
+        if self.watch_coalesce:
+            bits.append("watch-coalesce")
         if self.max_extra_permissions:
             bits.append(f"perms<={self.max_extra_permissions}")
         if not self.arm_attacker:
@@ -182,9 +218,14 @@ def generate_case(fuzz_seed: int, index: int) -> FuzzCase:
     rng = DeterministicRandom(fuzz_seed).fork(f"case-{index}")
     attack = rng.weighted_choice(
         FUZZ_ATTACKS, [_ATTACK_WEIGHTS[name] for name in FUZZ_ATTACKS])
-    defenses = tuple(name for name in
-                     ("dapp", "fuse-dac", "intent-detection", "intent-origin")
-                     if rng.chance(_DEFENSE_CHANCE))
+    defenses = []
+    if rng.chance(_DEFENSE_CHANCE):  # the dapp slot: plain or hybrid variant
+        defenses.append("dapp-rescan"
+                        if rng.chance(_RESCAN_VARIANT_CHANCE) else "dapp")
+    for name in ("fuse-dac", "intent-detection", "intent-origin"):
+        if rng.chance(_DEFENSE_CHANCE):
+            defenses.append(name)
+    defenses = tuple(defenses)
     arm_attacker = rng.chance(0.85)
     rearm_between = rng.chance(0.80)
     trials = rng.randint(1, _MAX_TRIALS)
@@ -201,6 +242,12 @@ def generate_case(fuzz_seed: int, index: int) -> FuzzCase:
     poll_interval_ns = None
     if attack == "wait-and-see" and rng.chance(_POLL_JITTER_CHANCE):
         poll_interval_ns = rng.randint(_MIN_POLL_NS, _MAX_POLL_NS)
+    watch_queue_depth = None
+    watch_drain_interval_ns = None
+    if rng.chance(_LOSSY_CHANCE):
+        watch_queue_depth = rng.choice(_WATCH_DEPTHS)
+        watch_drain_interval_ns = rng.choice(_WATCH_DRAINS_NS)
+    watch_coalesce = rng.chance(_COALESCE_CHANCE)
     return FuzzCase(
         seed=DeterministicRandom(fuzz_seed).fork(f"case-seed-{index}").seed,
         trials=trials,
@@ -215,6 +262,9 @@ def generate_case(fuzz_seed: int, index: int) -> FuzzCase:
         arm_attacker=arm_attacker,
         rearm_between=rearm_between,
         chaos=chaos,
+        watch_queue_depth=watch_queue_depth,
+        watch_drain_interval_ns=watch_drain_interval_ns,
+        watch_coalesce=watch_coalesce,
     )
 
 

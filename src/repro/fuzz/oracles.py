@@ -15,6 +15,12 @@ checkable properties:
 - **completeness** — an armed attack that strikes inside the race
   window must be caught by the enabled defense: FUSE-DAC blocks every
   strike (no hijack lands), DAPP alarms on every hijack (Table VII).
+  On a lossy-watcher device plain DAPP is *expected* to go blind
+  (that is the ``watcher-flood`` result), so the oracle exempts it
+  there unless the run is marked ``strict_lossy`` — the knob the CI
+  leg uses to prove the attack actually defeats plain DAPP.  The
+  hybrid ``dapp-rescan`` defense is held to full completeness under
+  loss: its overflow-triggered rescans must restore detection.
 - **conservation** — merged :class:`CampaignStats` totals equal the
   trial count under *any* merge order, and the per-run accounting
   identities hold (installed = hijacked + clean, etc.).
@@ -40,7 +46,12 @@ from repro.sim.rand import DeterministicRandom
 #: Intent schemes address a different threat and are exempt from the
 #: completeness oracle.
 BLOCKING_DEFENSES = ("fuse-dac",)
-DETECTING_DEFENSES = ("dapp",)
+DETECTING_DEFENSES = ("dapp", "dapp-rescan")
+
+#: Detecting defenses that keep their completeness guarantee on a
+#: lossy-watcher device.  Plain "dapp" is deliberately absent: a
+#: bounded queue is exactly the blind spot ``watcher-flood`` exploits.
+LOSS_TOLERANT_DEFENSES = ("dapp-rescan",)
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,10 @@ class FuzzRun:
     replay: FleetReport
     #: The runner's broken-defense knob, so oracles can annotate.
     sabotage_defense: str = ""
+    #: Hold plain "dapp" to full completeness even on a lossy device.
+    #: Off by default (loss-blindness is the expected model behavior);
+    #: the CI lossy-watcher leg turns it on to prove the flood wins.
+    strict_lossy: bool = False
 
 
 Oracle = Callable[[FuzzRun], List[Violation]]
@@ -167,11 +182,18 @@ def check_completeness(run: FuzzRun) -> List[Violation]:
                 f"{len(unblocked)} of {len(strikes)} strike(s) went "
                 f"unblocked with {'+'.join(blocking)} enabled"))
     elif detecting:
-        if stats.alarmed_runs < stats.hijacks:
+        # On a lossy-watcher device a purely notify-driven detector can
+        # be blinded by design (watcher-flood): exempt it unless the run
+        # demands strict accounting.  Loss-tolerant defenses (rescan
+        # hybrids) are never exempt — surviving the flood is their job.
+        enforced = detecting
+        if case.lossy_watchers and not run.strict_lossy:
+            enforced = [d for d in detecting if d in LOSS_TOLERANT_DEFENSES]
+        if enforced and stats.alarmed_runs < stats.hijacks:
             violations.append(Violation(
                 "completeness",
                 f"{stats.hijacks} hijack(s) but only {stats.alarmed_runs} "
-                f"alarmed run(s) with {'+'.join(detecting)} enabled — "
+                f"alarmed run(s) with {'+'.join(enforced)} enabled — "
                 "every in-window replacement must be detected"))
     return violations
 

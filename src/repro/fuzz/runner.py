@@ -38,12 +38,15 @@ _SHARD_TIMEOUT_S = 10.0
 def execute_case(case: FuzzCase, sabotage_defense: Optional[str] = None,
                  backend: str = "serial",
                  workers: Optional[int] = None,
-                 force_shards: Optional[int] = None) -> FuzzRun:
+                 force_shards: Optional[int] = None,
+                 strict_lossy: bool = False) -> FuzzRun:
     """Run ``case`` twice and bundle the evidence for the oracles.
 
     ``force_shards`` is the CLI's engine-backed mode: every case runs
     with that shard count instead of its own plan.  Case chaos is
     dropped with it — its indices were drawn against the case's count.
+    ``strict_lossy`` holds plain DAPP to full completeness even on a
+    lossy-watcher device (see :class:`~repro.fuzz.oracles.FuzzRun`).
     """
     if force_shards is not None:
         if case.attack != "none" and not case.rearm_between:
@@ -61,7 +64,8 @@ def execute_case(case: FuzzCase, sabotage_defense: Optional[str] = None,
     report = run_fleet(spec, **kwargs)
     replay = run_fleet(spec, **kwargs)
     return FuzzRun(case=case, report=report, replay=replay,
-                   sabotage_defense=sabotage_defense or "")
+                   sabotage_defense=sabotage_defense or "",
+                   strict_lossy=strict_lossy)
 
 
 @dataclass
@@ -88,6 +92,7 @@ class FuzzReport:
     oracles: Tuple[str, ...]
     results: List[CaseResult] = field(default_factory=list)
     sabotage_defense: str = ""
+    strict_lossy: bool = False
 
     @property
     def failures(self) -> List[CaseResult]:
@@ -103,7 +108,8 @@ class FuzzReport:
             f"fuzz: seed={self.fuzz_seed} budget={self.budget} "
             f"oracles={','.join(self.oracles)}"
             + (f" sabotage={self.sabotage_defense}"
-               if self.sabotage_defense else ""),
+               if self.sabotage_defense else "")
+            + (" strict-lossy" if self.strict_lossy else ""),
         ]
         for result in self.failures:
             lines.append(f"  case {result.index} FAILED "
@@ -129,6 +135,7 @@ class Fuzzer:
                  workers: Optional[int] = None,
                  force_shards: Optional[int] = None,
                  sabotage_defense: Optional[str] = None,
+                 strict_lossy: bool = False,
                  corpus_dir: Optional[Path] = None,
                  recorder=NULL_RECORDER,
                  metrics: Optional[MetricsRegistry] = None) -> None:
@@ -143,6 +150,7 @@ class Fuzzer:
         self.workers = workers
         self.force_shards = force_shards
         self.sabotage_defense = sabotage_defense
+        self.strict_lossy = strict_lossy
         self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
         self.recorder = recorder
         self.metrics = metrics
@@ -152,7 +160,8 @@ class Fuzzer:
     def _execute(self, case: FuzzCase) -> FuzzRun:
         run = execute_case(case, sabotage_defense=self.sabotage_defense,
                            backend=self.backend, workers=self.workers,
-                           force_shards=self.force_shards)
+                           force_shards=self.force_shards,
+                           strict_lossy=self.strict_lossy)
         if self.metrics is not None:
             self.metrics.counter("fuzz/executions").inc()
         return run
@@ -181,13 +190,17 @@ class Fuzzer:
             if self.metrics is not None and result.shrunk != case:
                 self.metrics.counter("fuzz/shrunk").inc()
             if self.corpus_dir is not None:
-                expect = "fail" if self.sabotage_defense else "pass"
+                # Sabotage and strict-lossy sessions *hunt* for expected
+                # violations; their finds pin the oracle's power.
+                expect = ("fail" if self.sabotage_defense or self.strict_lossy
+                          else "pass")
                 note = (f"fuzz seed {self.fuzz_seed}, case {index}: "
                         + "; ".join(str(v) for v in violations[:3]))
                 result.corpus_path = write_corpus_case(
                     self.corpus_dir, failed_oracles[0], result.shrunk,
                     note=note, expect=expect,
                     sabotage=self.sabotage_defense,
+                    strict_lossy=self.strict_lossy,
                     violation=str(violations[0]))
         return result
 
@@ -209,7 +222,8 @@ class Fuzzer:
             raise ReproError(f"fuzz budget must be >= 1, got {budget}")
         report = FuzzReport(
             fuzz_seed=self.fuzz_seed, budget=budget, oracles=self.oracles,
-            sabotage_defense=self.sabotage_defense or "")
+            sabotage_defense=self.sabotage_defense or "",
+            strict_lossy=self.strict_lossy)
         for index in range(budget):
             case = generate_case(self.fuzz_seed, index)
             report.results.append(self.check_case(index, case))

@@ -60,6 +60,14 @@ def shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
         yield from emit(simplified(case, max_extra_permissions=0))
     if case.poll_interval_ns is not None:
         yield from emit(simplified(case, poll_interval_ns=None))
+    # Shrink toward lossless watchers: drop coalescing first (smaller
+    # step), then the whole bounded queue.  A failure that needs loss
+    # to reproduce keeps its depth/drain; anything else sheds them.
+    if case.watch_coalesce:
+        yield from emit(simplified(case, watch_coalesce=False))
+    if case.watch_queue_depth is not None:
+        yield from emit(simplified(case, watch_queue_depth=None,
+                                   watch_drain_interval_ns=None))
     if case.base_size_bytes != 512:
         yield from emit(simplified(case, base_size_bytes=512))
     if case.device != "nexus5":

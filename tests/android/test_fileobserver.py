@@ -35,7 +35,7 @@ def test_no_events_before_start(env):
     observer = FileObserver(hub, "/watched")
     fs.write_bytes("/watched/f", APP, b"1")
     kernel.run()
-    assert observer.history == []
+    assert list(observer.history) == []
 
 
 def test_stop_watching_stops_delivery(env):
@@ -45,7 +45,7 @@ def test_stop_watching_stops_delivery(env):
     observer.stop_watching()
     fs.write_bytes("/watched/f", APP, b"1")
     kernel.run()
-    assert observer.history == []
+    assert list(observer.history) == []
 
 
 def test_mask_filters_event_types(env):
@@ -68,7 +68,7 @@ def test_non_recursive_like_android(env):
     observer.start_watching()
     fs.write_bytes("/watched/sub/f", APP, b"1")
     kernel.run()
-    assert observer.history == []
+    assert list(observer.history) == []
 
 
 def test_listener_callbacks_fire(env):
@@ -79,7 +79,7 @@ def test_listener_callbacks_fire(env):
     observer.start_watching()
     fs.write_bytes("/watched/f", APP, b"1")
     kernel.run()
-    assert seen == observer.history
+    assert seen == list(observer.history)
 
 
 def test_count_helper(env):
@@ -115,3 +115,115 @@ def test_requires_no_permissions():
     observer = FileObserver(hub, "/sdcard/DTIgnite")
     observer.start_watching()
     assert observer.watching
+
+
+# -- bounded history and lossy watches --------------------------------------
+
+
+def test_history_is_bounded_but_counters_are_exact(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched", history_limit=4)
+    observer.start_watching()
+    for i in range(10):
+        fs.write_bytes(f"/watched/f{i}", APP, b"1")
+    kernel.run()
+    assert len(observer.history) == 4  # ring evicted the oldest
+    assert all(event.name == "f9" for event in observer.history)
+    # Counters survive eviction: count() stays exact and O(1).
+    assert observer.count(FileEventType.CLOSE_WRITE) == 10
+    assert observer.count(FileEventType.CLOSE_WRITE, name="f0") == 1
+    assert observer.events_seen == 40  # four events per write
+
+
+def test_unbounded_history_opt_in(env):
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched", history_limit=None)
+    observer.start_watching()
+    for i in range(10):
+        fs.write_bytes(f"/watched/f{i}", APP, b"1")
+    kernel.run()
+    assert len(observer.history) == 40
+
+
+def test_lossy_watch_translates_overflow_to_q_overflow_event(env):
+    from repro.sim.events import WatchLimits
+
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched",
+                            limits=WatchLimits(max_queue_depth=2))
+    observer.start_watching()
+    for i in range(5):
+        fs.write_bytes(f"/watched/f{i}", APP, b"1")
+    kernel.run()
+    assert observer.overflows == 1
+    assert observer.count(FileEventType.Q_OVERFLOW) == 1
+    marker = [e for e in observer.history
+              if e.event_type is FileEventType.Q_OVERFLOW]
+    assert len(marker) == 1
+    assert marker[0].directory == "/watched"
+    assert marker[0].name == ""  # no single file: the whole watch lost
+    sub = observer.subscription
+    assert sub.dropped_overflow > 0
+    assert sub.delivered + sub.dropped + sub.pending == sub.published
+
+
+def test_q_overflow_respects_the_mask(env):
+    from repro.sim.events import WatchLimits
+
+    kernel, hub, fs = env
+    observer = FileObserver(hub, "/watched",
+                            mask={FileEventType.CLOSE_WRITE},
+                            limits=WatchLimits(max_queue_depth=1))
+    observer.start_watching()
+    for i in range(5):
+        fs.write_bytes(f"/watched/f{i}", APP, b"1")
+    kernel.run()
+    # The sentinel still counts loss episodes even when masked out.
+    assert observer.overflows == 1
+    assert observer.count(FileEventType.Q_OVERFLOW) == 0
+
+
+def _attached_observer(profile):
+    from repro.android.apk import ApkBuilder
+    from repro.android.app import App
+    from repro.android.permissions import (
+        READ_EXTERNAL_STORAGE,
+        WRITE_EXTERNAL_STORAGE,
+    )
+    from repro.android.signing import SigningKey
+    from repro.android.system import AndroidSystem
+
+    class WatcherApp(App):
+        package = "com.watcher"
+
+    system = AndroidSystem(profile)
+    apk = (ApkBuilder("com.watcher")
+           .uses_permission(READ_EXTERNAL_STORAGE, WRITE_EXTERNAL_STORAGE)
+           .build(SigningKey("watcher-dev", "k")))
+    system.install_user_app(apk)
+    app = WatcherApp()
+    system.attach(app)
+    observer = app.file_observer("/sdcard/Download")
+    observer.start_watching()
+    return observer
+
+
+def test_app_observers_inherit_device_watch_limits():
+    import dataclasses
+
+    from repro.android.device import nexus5
+    from repro.sim.events import WatchLimits
+
+    limits = WatchLimits(max_queue_depth=16)
+    profile = dataclasses.replace(nexus5(), watch_limits=limits)
+    observer = _attached_observer(profile)
+    assert observer.limits == limits
+    assert observer.subscription.limits == limits
+
+
+def test_default_device_watchers_are_lossless():
+    from repro.android.device import nexus5
+
+    observer = _attached_observer(nexus5())
+    assert observer.limits is None
+    assert observer.subscription.limits is None

@@ -1,0 +1,81 @@
+"""Tests for DAPP-RESCAN, the hybrid notify + offline-rescan defense."""
+
+import dataclasses
+
+from repro.attacks.base import fingerprint_for
+from repro.attacks.toctou import FileObserverHijacker
+from repro.attacks.watcher_flood import WatcherFloodHijacker
+from repro.android.device import nexus5
+from repro.core.scenario import Scenario
+from repro.defenses.dapp_rescan import DappRescan
+from repro.errors import ReproError
+from repro.installers import AmazonInstaller
+from repro.sim.events import DEFAULT_DRAIN_INTERVAL_NS, WatchLimits
+
+import pytest
+
+TARGET = "com.victim.app"
+
+
+def lossy_device(depth=64):
+    return dataclasses.replace(
+        nexus5(), watch_limits=WatchLimits(
+            max_queue_depth=depth,
+            drain_interval_ns=DEFAULT_DRAIN_INTERVAL_NS))
+
+
+def scenario_with(attacker_cls, defenses, device=None):
+    scenario = Scenario.build(
+        installer=AmazonInstaller,
+        attacker_factory=lambda s: attacker_cls(
+            fingerprint_for(AmazonInstaller)),
+        device=device,
+        defenses=defenses,
+    )
+    scenario.publish_app(TARGET, label="Victim")
+    return scenario
+
+
+def test_rescan_detects_flood_hijack_on_lossy_device():
+    scenario = scenario_with(WatcherFloodHijacker, ("dapp-rescan",),
+                             device=lossy_device())
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked  # detection, not prevention
+    dapp = scenario.dapp
+    assert isinstance(dapp, DappRescan)
+    assert dapp.overflows_seen > 0  # degraded mode engaged
+    assert dapp.rescans > 0
+    assert dapp.report.alarms  # and the replacement was convicted
+    assert any("rescan after Q_OVERFLOW" in alarm
+               for alarm in dapp.report.alarms)
+
+
+def test_rescan_variant_reports_its_own_name():
+    scenario = scenario_with(WatcherFloodHijacker, ("dapp-rescan",),
+                             device=lossy_device())
+    assert scenario.dapp.report.defense_name == "DAPP-RESCAN"
+
+
+def test_rescan_stays_on_notify_path_when_lossless():
+    scenario = scenario_with(FileObserverHijacker, ("dapp-rescan",))
+    outcome = scenario.run_install(TARGET)
+    assert outcome.hijacked
+    dapp = scenario.dapp
+    assert dapp.overflows_seen == 0  # never left the online path
+    assert dapp.rescans == 0
+    assert dapp.report.alarms  # plain DAPP behaviour is inherited
+
+
+def test_rescan_raises_no_false_alarms_on_benign_lossy_install():
+    scenario = scenario_with(WatcherFloodHijacker, ("dapp-rescan",),
+                             device=lossy_device())
+    outcome = scenario.run_install(TARGET, arm_attacker=False)
+    assert outcome.installed
+    assert not outcome.hijacked
+    assert not scenario.dapp.report.alarms
+
+
+def test_dapp_variants_cannot_be_combined():
+    with pytest.raises(ReproError, match="mutually exclusive"):
+        Scenario.build(installer=AmazonInstaller,
+                       defenses=("dapp", "dapp-rescan"))

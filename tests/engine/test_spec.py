@@ -168,3 +168,43 @@ def test_poll_interval_floor_rejects_livelock_intervals():
     spec = CampaignSpec(installs=1, attack="wait-and-see",
                         poll_interval_ns=MIN_POLL_INTERVAL_NS)
     assert spec.poll_interval_ns == MIN_POLL_INTERVAL_NS
+
+
+def test_watch_limits_default_is_lossless():
+    spec = CampaignSpec(installs=1)
+    assert spec.watch_limits() is None
+    scenario = spec.shard(1)[0].build_scenario()
+    assert scenario.system.watch_limits is None
+
+
+def test_watch_limits_lowering_fills_default_drain():
+    from repro.sim.events import DEFAULT_DRAIN_INTERVAL_NS
+
+    spec = CampaignSpec(installs=1, watch_queue_depth=32)
+    limits = spec.watch_limits()
+    assert limits.max_queue_depth == 32
+    assert limits.drain_interval_ns == DEFAULT_DRAIN_INTERVAL_NS
+    explicit = CampaignSpec(installs=1, watch_queue_depth=32,
+                            watch_drain_interval_ns=5_000_000)
+    assert explicit.watch_limits().drain_interval_ns == 5_000_000
+
+
+def test_watch_limits_reach_the_device_and_apps():
+    spec = CampaignSpec(installs=1, watch_queue_depth=16,
+                        watch_coalesce=True)
+    scenario = spec.shard(1)[0].build_scenario()
+    limits = scenario.system.watch_limits
+    assert limits.max_queue_depth == 16
+    assert limits.coalesce
+
+
+def test_watch_axis_validation():
+    with pytest.raises(ReproError, match="watch_queue_depth"):
+        CampaignSpec(installs=1, watch_queue_depth=0)
+    with pytest.raises(ReproError, match="watch_drain_interval_ns"):
+        CampaignSpec(installs=1, watch_drain_interval_ns=-1)
+
+
+def test_dapp_variants_are_mutually_exclusive():
+    with pytest.raises(ReproError, match="mutually exclusive"):
+        CampaignSpec(installs=1, defenses=("dapp", "dapp-rescan"))

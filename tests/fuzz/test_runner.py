@@ -85,7 +85,7 @@ def test_cli_fuzz_green_run_exits_zero(capsys):
 
 
 def test_cli_fuzz_broken_defense_exits_one(tmp_path, capsys):
-    code = main(["fuzz", "--seed", "7", "--budget", "3",
+    code = main(["fuzz", "--seed", "7", "--budget", "11",
                  "--break-defense", "fuse-dac",
                  "--corpus", str(tmp_path)])
     assert code == 1

@@ -1,0 +1,70 @@
+"""End-to-end lossy-watcher claims: the queue-flood attack and its fix.
+
+One seeded campaign, three configurations:
+
+1. Lossy device + ``watcher-flood`` + plain ``dapp`` — the flood keeps
+   the bounded watch queue full, the tell-tale swap events drop, and
+   every hijack lands *undetected* (drop counters and ``Q_OVERFLOW``
+   prove the mechanism in metrics and trace).
+2. Same seed + ``dapp-rescan`` — the overflow signal triggers offline
+   rescans and every hijack is detected again.
+3. Same seed on a *lossless* device — the flood is harmless noise and
+   plain DAPP detects everything, pinning that the attack needs the
+   bounded queue, not some unrelated DAPP weakness.
+"""
+
+from repro.engine import CampaignSpec, run_fleet
+
+SEED = 11
+INSTALLS = 4
+
+
+def _spec(defenses, lossy=True):
+    return CampaignSpec(
+        installs=INSTALLS,
+        installer="amazon",
+        attack="watcher-flood",
+        defenses=defenses,
+        seed=SEED,
+        observe=True,
+        watch_queue_depth=64 if lossy else None,
+    )
+
+
+def _events(report, name):
+    return [r for r in report.trace_records()
+            if r.get("type") == "event" and r.get("name") == name]
+
+
+def test_flood_blinds_plain_dapp_on_a_lossy_device():
+    report = run_fleet(_spec(("dapp",)), shards=1, backend="serial")
+    stats = report.stats
+    assert stats.hijacks == INSTALLS  # every install hijacked...
+    assert stats.alarms == 0  # ...and DAPP never noticed
+    assert stats.alarmed_runs == 0
+    # The mechanism is visible: the queue overflowed and dropped events.
+    counters = report.metrics["counters"]
+    assert counters["hub/events_dropped"] > 0
+    assert counters["hub/queue_overflows"] > 0
+    assert _events(report, "hub/q_overflow")  # and it is in the trace
+
+
+def test_same_seed_with_dapp_rescan_detects_every_hijack():
+    report = run_fleet(_spec(("dapp-rescan",)), shards=1, backend="serial")
+    stats = report.stats
+    assert stats.hijacks == INSTALLS  # rescan detects, it cannot block
+    assert stats.alarmed_runs == INSTALLS  # but every one raised alarms
+    counters = report.metrics["counters"]
+    assert counters["dapp/overflows"] > 0  # degraded mode engaged
+    assert _events(report, "defense/rescan_mode")
+
+
+def test_flood_is_harmless_noise_on_a_lossless_device():
+    report = run_fleet(_spec(("dapp",), lossy=False), shards=1,
+                       backend="serial")
+    stats = report.stats
+    assert stats.hijacks > 0
+    assert stats.alarmed_runs == stats.hijacks  # plain DAPP sees it all
+    counters = report.metrics["counters"]
+    assert counters.get("hub/events_dropped", 0) == 0
+    assert counters.get("hub/queue_overflows", 0) == 0
